@@ -1,0 +1,67 @@
+// Shared driver for the Metis-based figure benches (Figures 5–8).
+#ifndef SRL_BENCH_METIS_BENCH_COMMON_H_
+#define SRL_BENCH_METIS_BENCH_COMMON_H_
+
+#include <memory>
+
+#include "src/harness/cli.h"
+#include "src/harness/wait_stats.h"
+#include "src/metis/metis_job.h"
+#include "src/vm/address_space.h"
+
+namespace srl::bench {
+
+struct MetisRun {
+  metis::MetisResult result;
+  // Snapshot of lock wait accounting (populated when requested).
+  double mean_read_wait_ns = 0;
+  double mean_write_wait_ns = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  double mean_spin_wait_ns = 0;   // tree variants only
+  uint64_t spin_acquisitions = 0;  // tree variants only
+  double spec_rate = 0;
+};
+
+inline metis::MetisConfig ConfigFromCli(const Cli& cli, metis::MetisApp app,
+                                        int threads) {
+  metis::MetisConfig cfg;
+  cfg.app = app;
+  cfg.threads = threads;
+  // Fixed TOTAL input per round, split across workers — the paper's methodology (a
+  // fixed input file / 2GB wrmem buffer regardless of thread count), so runtime falls
+  // with useful parallelism and rises only from contention.
+  const uint64_t total_bytes = static_cast<uint64_t>(cli.GetInt("--total-kb", 768)) * 1024;
+  cfg.chunk_bytes = total_bytes / static_cast<uint64_t>(threads);
+  cfg.rounds = static_cast<int>(cli.GetInt("--rounds", 6));
+  cfg.grow_chunk_pages = static_cast<uint64_t>(cli.GetInt("--grow-pages", 4));
+  cfg.seed = static_cast<uint64_t>(cli.GetInt("--seed", 1));
+  return cfg;
+}
+
+inline MetisRun RunMetisOnce(vm::VmVariant variant, const metis::MetisConfig& cfg,
+                             bool collect_wait_stats, bool collect_spin_stats) {
+  vm::AddressSpace as(variant);
+  WaitStats waits;
+  WaitStats spins;
+  if (collect_wait_stats) {
+    as.Lock().SetWaitStats(&waits);
+  }
+  if (collect_spin_stats) {
+    as.Lock().SetSpinWaitStats(&spins);
+  }
+  MetisRun run;
+  run.result = metis::RunMetis(as, cfg);
+  run.mean_read_wait_ns = waits.MeanReadNs();
+  run.mean_write_wait_ns = waits.MeanWriteNs();
+  run.reads = waits.ReadCount();
+  run.writes = waits.WriteCount();
+  run.mean_spin_wait_ns = spins.MeanWriteNs();
+  run.spin_acquisitions = spins.WriteCount();
+  run.spec_rate = as.Stats().SpeculationSuccessRate();
+  return run;
+}
+
+}  // namespace srl::bench
+
+#endif  // SRL_BENCH_METIS_BENCH_COMMON_H_

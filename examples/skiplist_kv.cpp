@@ -1,0 +1,75 @@
+// skiplist_kv: the range-lock-based skip list (§6) as a concurrent ordered set,
+// compared against the classic per-node-lock design on the same workload.
+//
+// Build & run:  ./build/examples/skiplist_kv
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "src/harness/prng.h"
+#include "src/skiplist/optimistic_skiplist.h"
+#include "src/skiplist/range_lock_skiplist.h"
+
+namespace {
+
+template <typename ListT>
+double RunWorkload(ListT& list, int threads, int ops_per_thread) {
+  std::atomic<uint64_t> hits{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      srl::Xoshiro256 rng(0xabc + t);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const uint64_t key = 1 + rng.NextBelow(100000);
+        const double roll = rng.NextDouble();
+        if (roll < 0.1) {
+          list.Insert(key);
+        } else if (roll < 0.2) {
+          list.Remove(key);
+        } else if (list.Contains(key)) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      ListT::QuiesceLocal();
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::cout << "  " << threads << " threads x " << ops_per_thread << " ops in " << secs
+            << "s, " << hits.load() << " membership hits, " << list.DebugCount()
+            << " keys remain\n";
+  return secs;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 50000;
+
+  std::cout << "orig (Herlihy optimistic, a spin lock in every node):\n";
+  srl::OptimisticSkipList orig;
+  for (uint64_t k = 1; k <= 50000; ++k) {
+    orig.Insert(k * 2);
+  }
+  RunWorkload(orig, kThreads, kOps);
+
+  std::cout << "range-list (one range lock for the whole structure, §6):\n";
+  srl::RangeLockSkipList<srl::ListLockPolicy> range_list;
+  for (uint64_t k = 1; k <= 50000; ++k) {
+    range_list.Insert(k * 2);
+  }
+  RunWorkload(range_list, kThreads, kOps);
+
+  std::cout << "\nper-node memory, height-1 node: orig "
+            << srl::OptimisticSkipList::NodeBytes(0) << "B vs range-list "
+            << srl::RangeLockSkipList<srl::ListLockPolicy>::NodeBytes(0)
+            << "B (no embedded lock; with pthread_mutex the gap is 40+ bytes)\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Segment-based range lock in the style of pNOVA (Kim et al., APSys'19) following the
+// design of Quinson & Vernier [33] — the paper's "pnova-rw" baseline (§2, §7.1).
+//
+// The whole addressable range is statically divided into a preset number of segments,
+// each guarded by a reader-writer spin lock. Acquiring [start, end) acquires every
+// covered segment's lock, in ascending order (which makes waits strictly "upward" and
+// hence deadlock-free); releasing unlocks in descending order. Acquiring the full range
+// therefore takes every segment lock — the expensive case the paper highlights.
+//
+// The granularity trade-off (too few segments → false contention; too many → expensive
+// wide acquisitions) is exactly what `bench/abl_segments` quantifies.
+#ifndef SRL_BASELINES_SEGMENT_RANGE_LOCK_H_
+#define SRL_BASELINES_SEGMENT_RANGE_LOCK_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "src/core/range.h"
+#include "src/sync/cacheline.h"
+#include "src/sync/rw_spin_lock.h"
+
+namespace srl {
+
+class SegmentRangeLock {
+ public:
+  // Describes an acquisition; returned by Acquire*, consumed by Release.
+  struct Handle {
+    uint32_t first_seg = 0;
+    uint32_t last_seg = 0;  // inclusive
+    bool reader = false;
+  };
+
+  // Covers addresses [0, universe_end) with `num_segments` equal segments. Addresses at
+  // or beyond universe_end (e.g. Range::Full()'s tail) clamp to the last segment.
+  SegmentRangeLock(uint64_t universe_end, uint32_t num_segments)
+      : seg_size_((universe_end + num_segments - 1) / num_segments),
+        num_segments_(num_segments),
+        segments_(std::make_unique<CacheAligned<RwSpinLock>[]>(num_segments)) {
+    assert(num_segments > 0 && universe_end >= num_segments);
+  }
+
+  SegmentRangeLock(const SegmentRangeLock&) = delete;
+  SegmentRangeLock& operator=(const SegmentRangeLock&) = delete;
+
+  Handle AcquireRead(const Range& r) { return Acquire(r, /*reader=*/true); }
+  Handle AcquireWrite(const Range& r) { return Acquire(r, /*reader=*/false); }
+
+  void Release(const Handle& h) {
+    for (uint32_t i = h.last_seg + 1; i-- > h.first_seg;) {
+      if (h.reader) {
+        segments_[i].value.unlock_shared();
+      } else {
+        segments_[i].value.unlock();
+      }
+    }
+  }
+
+  uint32_t NumSegments() const { return num_segments_; }
+
+ private:
+  Handle Acquire(const Range& r, bool reader) {
+    assert(r.Valid());
+    Handle h;
+    h.first_seg = SegmentOf(r.start);
+    h.last_seg = SegmentOf(r.end - 1);
+    h.reader = reader;
+    for (uint32_t i = h.first_seg; i <= h.last_seg; ++i) {
+      if (reader) {
+        segments_[i].value.lock_shared();
+      } else {
+        segments_[i].value.lock();
+      }
+    }
+    return h;
+  }
+
+  uint32_t SegmentOf(uint64_t addr) const {
+    const uint64_t seg = addr / seg_size_;
+    return seg >= num_segments_ ? num_segments_ - 1 : static_cast<uint32_t>(seg);
+  }
+
+  uint64_t seg_size_;
+  uint32_t num_segments_;
+  std::unique_ptr<CacheAligned<RwSpinLock>[]> segments_;
+};
+
+}  // namespace srl
+
+#endif  // SRL_BASELINES_SEGMENT_RANGE_LOCK_H_

@@ -1,0 +1,392 @@
+// Reader-writer list-based range lock (paper §4.2, Listings 2 and 3).
+//
+// Extends the exclusive algorithm: readers with overlapping ranges coexist (ordered by
+// start address); any overlap involving a writer conflicts. Because an overlapping reader
+// and writer may insert at *different* list positions (Figure 1), insertion alone cannot
+// detect every conflict, so each insertion is followed by a validation pass:
+//
+//   * a reader scans forward from its own node until ranges no longer overlap; if it
+//     meets a conflicting writer it waits for that writer to release;
+//   * a writer re-scans from the head to its own node; if it meets any conflicting node
+//     it deletes itself and the whole acquisition restarts with a fresh node.
+//
+// The insert-then-scan handshake on both sides is a store-buffering pattern; a seq_cst
+// fence after the insertion CAS on each side makes it impossible for both parties to
+// miss each other (free on x86, where the CAS is already a full fence).
+#ifndef SRL_CORE_LIST_RW_RANGE_LOCK_H_
+#define SRL_CORE_LIST_RW_RANGE_LOCK_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "src/core/lnode.h"
+#include "src/core/range.h"
+#include "src/epoch/epoch_domain.h"
+#include "src/epoch/node_pool.h"
+#include "src/sync/pause.h"
+
+namespace srl {
+
+class ListRwRangeLock {
+ public:
+  struct Options {
+    bool enable_fast_path = false;  // §4.5
+  };
+
+  using Handle = LNode*;
+
+  ListRwRangeLock() = default;
+  explicit ListRwRangeLock(Options options) : options_(options) {}
+  ListRwRangeLock(const ListRwRangeLock&) = delete;
+  ListRwRangeLock& operator=(const ListRwRangeLock&) = delete;
+
+  ~ListRwRangeLock() {
+    uintptr_t word = head_.load(std::memory_order_acquire);
+    assert(!IsMarked(word) && "range still held on the fast path at destruction");
+    LNode* cur = ToNode(word);
+    while (cur != nullptr) {
+      const uintptr_t next = cur->next.load(std::memory_order_acquire);
+      assert(IsMarked(next) && "range still held at destruction");
+      LNode* succ = ToNode(next);
+      delete cur;
+      cur = succ;
+    }
+  }
+
+  // Blocks until [range.start, range.end) is held in shared (read) mode.
+  Handle LockRead(const Range& range) {
+    Handle h = nullptr;
+    AcquireImpl(range, /*reader=*/true, /*max_failures=*/-1, &h);
+    return h;
+  }
+
+  // Blocks until [range.start, range.end) is held in exclusive (write) mode.
+  Handle LockWrite(const Range& range) {
+    Handle h = nullptr;
+    AcquireImpl(range, /*reader=*/false, /*max_failures=*/-1, &h);
+    return h;
+  }
+
+  // Bounded-patience variants for the fairness layer (§4.3). Failed writer validations
+  // count as failures, as do lost CASes and forced restarts.
+  bool LockReadBounded(const Range& range, int max_failures, Handle* out) {
+    return AcquireImpl(range, /*reader=*/true, max_failures, out);
+  }
+  bool LockWriteBounded(const Range& range, int max_failures, Handle* out) {
+    return AcquireImpl(range, /*reader=*/false, max_failures, out);
+  }
+
+  // Releases a range acquired in either mode.
+  void Unlock(Handle node) {
+    if (options_.enable_fast_path) {
+      uintptr_t expected = MarkedWord(node);
+      if (head_.load(std::memory_order_relaxed) == expected &&
+          head_.compare_exchange_strong(expected, 0, std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        NodePool<LNode>::Local().Recycle(node);
+        return;
+      }
+    }
+    node->next.fetch_add(kMarkBit, std::memory_order_release);
+  }
+
+  class ReadGuard {
+   public:
+    ReadGuard(ListRwRangeLock& lock, const Range& range)
+        : lock_(lock), h_(lock.LockRead(range)) {}
+    ~ReadGuard() { lock_.Unlock(h_); }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    ListRwRangeLock& lock_;
+    Handle h_;
+  };
+
+  class WriteGuard {
+   public:
+    WriteGuard(ListRwRangeLock& lock, const Range& range)
+        : lock_(lock), h_(lock.LockWrite(range)) {}
+    ~WriteGuard() { lock_.Unlock(h_); }
+    WriteGuard(const WriteGuard&) = delete;
+    WriteGuard& operator=(const WriteGuard&) = delete;
+
+   private:
+    ListRwRangeLock& lock_;
+    Handle h_;
+  };
+
+  // --- Test-only introspection (callers must guarantee quiescence) ---
+
+  int DebugHeldCount() const {
+    int n = 0;
+    for (LNode* cur = ToNode(head_.load(std::memory_order_acquire)); cur != nullptr;
+         cur = ToNode(cur->next.load(std::memory_order_acquire))) {
+      if (!IsMarked(cur->next.load(std::memory_order_acquire))) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  // Invariant 2: held ranges sorted by start; a held writer never overlaps a successor.
+  bool DebugInvariantHolds() const {
+    const LNode* prev = nullptr;
+    for (LNode* cur = ToNode(head_.load(std::memory_order_acquire)); cur != nullptr;
+         cur = ToNode(cur->next.load(std::memory_order_acquire))) {
+      if (IsMarked(cur->next.load(std::memory_order_acquire))) {
+        continue;
+      }
+      if (prev != nullptr) {
+        if (prev->start > cur->start) {
+          return false;
+        }
+        if ((!prev->reader || !cur->reader) && prev->end > cur->start) {
+          return false;
+        }
+      }
+      prev = cur;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kWatchSpins = 512;
+
+  // Listing 2's compare(): relationship of `cur` (in-list) to `node` (to insert).
+  //  -1: keep traversing (cur precedes node, or reader-reader ordered by start).
+  //   0: conflict involving a writer — wait for cur's release before inserting.
+  //  +1: insertion point found (node goes before cur).
+  static int CompareRw(const LNode* cur, const LNode* node) {
+    const bool both_readers = cur->reader && node->reader;
+    if (node->start >= cur->end) {
+      return -1;
+    }
+    if (both_readers && node->start >= cur->start) {
+      return -1;
+    }
+    if (cur->start >= node->end) {
+      return 1;
+    }
+    if (both_readers && cur->start >= node->start) {
+      return 1;
+    }
+    return 0;
+  }
+
+  bool AcquireImpl(const Range& range, bool reader, int max_failures, Handle* out) {
+    assert(range.Valid() && "range locks require start < end");
+    EpochDomain::ThreadRec* rec = CurrentThreadRec(EpochDomain::Global());
+    int failures = 0;
+    // Writer validation failure restarts the whole acquisition with a fresh node
+    // (Listing 2's do/while): the failed node is already marked inside the list and will
+    // be unlinked by other traversals.
+    for (;;) {
+      LNode* node = NodePool<LNode>::Local().Alloc();
+      node->start = range.start;
+      node->end = range.end;
+      node->reader = reader;
+      node->next.store(0, std::memory_order_relaxed);
+
+      if (options_.enable_fast_path) {
+        uintptr_t expected = 0;
+        if (head_.load(std::memory_order_relaxed) == 0 &&
+            head_.compare_exchange_strong(expected, MarkedWord(node),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+          // The list was empty, so there is nothing to validate against; later arrivals
+          // always see this node (it is the head) and defer to it as needed.
+          *out = node;
+          return true;
+        }
+      }
+
+      EpochDomain::Enter(rec);
+      const InsertResult res = InsertNode(node, rec, max_failures, &failures);
+      EpochDomain::Exit(rec);
+      switch (res) {
+        case InsertResult::kAcquired:
+          *out = node;
+          return true;
+        case InsertResult::kGaveUp:
+          NodePool<LNode>::Local().Recycle(node);  // never entered the list
+          return false;
+        case InsertResult::kValidationFailed:
+          if (max_failures >= 0 && ++failures > max_failures) {
+            return false;  // node already marked in-list; others unlink it
+          }
+          continue;  // retry with a fresh node
+      }
+    }
+  }
+
+  enum class InsertResult { kAcquired, kGaveUp, kValidationFailed };
+
+  InsertResult InsertNode(LNode* node, EpochDomain::ThreadRec* rec, int max_failures,
+                          int* failures) {
+    for (;;) {
+      std::atomic<uintptr_t>* prev = &head_;
+      uintptr_t cur_word = prev->load(std::memory_order_acquire);
+      bool at_head = true;
+      for (;;) {
+        if (IsMarked(cur_word)) {
+          if (!at_head) {
+            if (max_failures >= 0 && ++*failures > max_failures) {
+              return InsertResult::kGaveUp;
+            }
+            break;  // prev's owner deleted — restart from head
+          }
+          if (head_.compare_exchange_weak(cur_word, Unmark(cur_word),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+            cur_word = Unmark(cur_word);
+          }
+          continue;
+        }
+        LNode* cur = ToNode(cur_word);
+        if (cur != nullptr) {
+          const uintptr_t cur_next = cur->next.load(std::memory_order_acquire);
+          if (IsMarked(cur_next)) {
+            const uintptr_t succ = Unmark(cur_next);
+            if (prev->compare_exchange_strong(cur_word, succ, std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+              NodePool<LNode>::Local().Retire(cur);
+              cur_word = succ;
+            }
+            continue;
+          }
+          const int rel = CompareRw(cur, node);
+          if (rel < 0) {
+            prev = &cur->next;
+            cur_word = cur_next;
+            at_head = false;
+            continue;
+          }
+          if (rel == 0) {
+            if (!WaitForRelease(cur, rec)) {
+              break;  // epoch CS was cycled while waiting; restart from head
+            }
+            continue;
+          }
+        }
+        node->next.store(cur_word, std::memory_order_relaxed);
+        if (prev->compare_exchange_strong(cur_word, NodeWord(node),
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_acquire)) {
+          // Paired with the same fence in the conflicting party's insertion (see the
+          // file comment): both sides cannot miss each other's nodes.
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          if (node->reader) {
+            RValidate(node, rec);
+            return InsertResult::kAcquired;
+          }
+          return WValidate(node) ? InsertResult::kAcquired
+                                 : InsertResult::kValidationFailed;
+        }
+        if (max_failures >= 0 && ++*failures > max_failures) {
+          return InsertResult::kGaveUp;
+        }
+      }
+    }
+  }
+
+  // Listing 3, r_validate: scan forward from our node; wait out any conflicting writer.
+  // Always succeeds (readers have priority over writers in this scheme).
+  void RValidate(LNode* node, EpochDomain::ThreadRec* rec) {
+    for (;;) {
+      std::atomic<uintptr_t>* prev = &node->next;
+      uintptr_t cur_word = Unmark(prev->load(std::memory_order_acquire));
+      bool done = false;
+      while (!done) {
+        LNode* cur = ToNode(cur_word);
+        // Precise half-open overlap test; every node past our position has
+        // start >= node->start, so start < node->end is the full overlap condition.
+        if (cur == nullptr || cur->start >= node->end) {
+          return;
+        }
+        const uintptr_t cur_next = cur->next.load(std::memory_order_acquire);
+        if (IsMarked(cur_next)) {
+          const uintptr_t succ = Unmark(cur_next);
+          uintptr_t expected = cur_word;
+          if (prev->compare_exchange_strong(expected, succ, std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+            NodePool<LNode>::Local().Retire(cur);
+          }
+          cur_word = succ;  // continue through the (possibly stale) chain — safe in a CS
+          continue;
+        }
+        if (cur->reader) {
+          prev = &cur->next;
+          cur_word = Unmark(cur_next);
+          continue;
+        }
+        // Conflicting writer: wait for it to release, then re-examine.
+        if (!WaitForRelease(cur, rec)) {
+          done = true;  // cycled the epoch CS; restart the scan from our own node
+        }
+      }
+    }
+  }
+
+  // Listing 3, w_validate: re-scan from the head to our own node. On meeting any
+  // conflicting node, self-delete and report failure.
+  bool WValidate(LNode* node) {
+    for (;;) {
+      std::atomic<uintptr_t>* prev = &head_;
+      uintptr_t cur_word = Unmark(prev->load(std::memory_order_acquire));
+      for (;;) {
+        LNode* cur = ToNode(cur_word);
+        if (cur == node) {
+          return true;
+        }
+        if (cur == nullptr) {
+          // Our node is always reachable from the head within one epoch critical
+          // section (frozen next pointers never skip forward past live nodes); hitting
+          // the end means a stale chain was followed mid-unlink — rescan.
+          break;
+        }
+        const uintptr_t cur_next = cur->next.load(std::memory_order_acquire);
+        if (IsMarked(cur_next)) {
+          const uintptr_t succ = Unmark(cur_next);
+          uintptr_t expected = cur_word;
+          if (prev->compare_exchange_strong(expected, succ, std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+            NodePool<LNode>::Local().Retire(cur);
+          }
+          cur_word = succ;
+          continue;
+        }
+        if (cur->end <= node->start) {
+          prev = &cur->next;
+          cur_word = Unmark(cur_next);
+          continue;
+        }
+        // cur overlaps us (cur->start <= node->start < cur->end given list order, or we
+        // raced with a same-start insert). Defer: delete ourselves and fail.
+        node->next.fetch_add(kMarkBit, std::memory_order_release);
+        return false;
+      }
+    }
+  }
+
+  bool WaitForRelease(const LNode* cur, EpochDomain::ThreadRec* rec) {
+    for (int i = 0; i < kWatchSpins; ++i) {
+      if (IsMarked(cur->next.load(std::memory_order_acquire))) {
+        return true;
+      }
+      CpuRelax();
+    }
+    EpochDomain::Exit(rec);
+    CpuRelax();
+    EpochDomain::Enter(rec);
+    return false;
+  }
+
+  std::atomic<uintptr_t> head_{0};
+  Options options_;
+};
+
+}  // namespace srl
+
+#endif  // SRL_CORE_LIST_RW_RANGE_LOCK_H_

@@ -1,0 +1,44 @@
+// Address ranges as locked by range locks.
+#ifndef SRL_CORE_RANGE_H_
+#define SRL_CORE_RANGE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <ostream>
+
+namespace srl {
+
+// A half-open interval [start, end). `end` is exclusive, so adjacent ranges such as
+// [0,10) and [10,20) do not overlap and can be held concurrently.
+//
+// The "full range" of the paper's API ([0 .. 2^64-1]) is Range::Full(): it spans every
+// address the VM experiments can produce; the single unreachable top address keeps `end`
+// representable without widening the type.
+struct Range {
+  uint64_t start = 0;
+  uint64_t end = 0;
+
+  static constexpr Range Full() { return Range{0, UINT64_MAX}; }
+
+  constexpr bool Valid() const { return start < end; }
+  constexpr uint64_t Length() const { return end - start; }
+
+  constexpr bool Overlaps(const Range& other) const {
+    return start < other.end && other.start < end;
+  }
+
+  constexpr bool Contains(uint64_t addr) const { return addr >= start && addr < end; }
+  constexpr bool Contains(const Range& other) const {
+    return start <= other.start && other.end <= end;
+  }
+
+  friend constexpr bool operator==(const Range& a, const Range& b) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Range& r) {
+  return os << "[" << r.start << "," << r.end << ")";
+}
+
+}  // namespace srl
+
+#endif  // SRL_CORE_RANGE_H_

@@ -1,0 +1,109 @@
+#include "src/epoch/epoch_domain.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace srl {
+
+EpochDomain& EpochDomain::Global() {
+  static EpochDomain domain;
+  return domain;
+}
+
+EpochDomain::ThreadRec* EpochDomain::AcquireRec() {
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (!recs_[i].in_use.load(std::memory_order_relaxed) &&
+        recs_[i].in_use.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      // Advance the high-water mark so Barrier() scans this slot.
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 &&
+             !high_water_.compare_exchange_weak(hw, i + 1, std::memory_order_acq_rel)) {
+      }
+      return &recs_[i];
+    }
+  }
+  std::fprintf(stderr, "EpochDomain: more than %zu concurrent threads\n", kMaxThreads);
+  std::abort();
+}
+
+void EpochDomain::ReleaseRec(ThreadRec* rec) {
+  rec->in_use.store(false, std::memory_order_release);
+}
+
+void EpochDomain::Barrier(const ThreadRec* self) const {
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  // Snapshot every in-flight critical section (odd epoch), then wait for each epoch to
+  // move. A slot released and re-acquired mid-wait still satisfies the condition: the new
+  // owner bumps the epoch on its first Enter, and a freshly even epoch is also fine
+  // because the old owner exited its critical section before releasing the slot.
+  struct Pending {
+    const std::atomic<uint64_t>* epoch;
+    uint64_t seen;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(hw);
+  for (std::size_t i = 0; i < hw; ++i) {
+    const ThreadRec& rec = recs_[i];
+    if (&rec == self || !rec.in_use.load(std::memory_order_acquire)) {
+      continue;
+    }
+    const uint64_t e = rec.epoch.load(std::memory_order_seq_cst);
+    if ((e & 1) != 0) {
+      pending.push_back({&rec.epoch, e});
+    }
+  }
+  for (const Pending& p : pending) {
+    while (p.epoch->load(std::memory_order_acquire) == p.seen) {
+      CpuRelax();
+    }
+  }
+}
+
+std::size_t EpochDomain::LiveThreads() const {
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < hw; ++i) {
+    if (recs_[i].in_use.load(std::memory_order_acquire)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+// Binds a thread to its record in a domain and releases the record at thread exit.
+// A thread normally touches exactly one domain (the global one); the small vector below
+// handles tests that create private domains without penalizing the common case.
+struct ThreadSlots {
+  struct Entry {
+    EpochDomain* domain;
+    EpochDomain::ThreadRec* rec;
+  };
+  std::vector<Entry> entries;
+
+  ~ThreadSlots() {
+    for (Entry& e : entries) {
+      e.domain->ReleaseRec(e.rec);
+    }
+  }
+};
+
+thread_local ThreadSlots t_slots;
+
+}  // namespace
+
+EpochDomain::ThreadRec* CurrentThreadRec(EpochDomain& domain) {
+  for (const ThreadSlots::Entry& e : t_slots.entries) {
+    if (e.domain == &domain) {
+      return e.rec;
+    }
+  }
+  EpochDomain::ThreadRec* rec = domain.AcquireRec();
+  t_slots.entries.push_back({&domain, rec});
+  return rec;
+}
+
+}  // namespace srl

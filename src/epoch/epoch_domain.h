@@ -1,0 +1,115 @@
+// Epoch-based memory reclamation (paper §4.4).
+//
+// The lock-less list traversals of the range lock read nodes that concurrent threads may
+// simultaneously unlink. A node therefore cannot be freed at unlink time; it is *retired*
+// and only reclaimed once every thread that might still hold a reference has provably
+// moved on. The paper uses RCU for its kernel implementation and this epoch scheme for
+// user space; we implement the user-space scheme exactly:
+//
+//   * every thread owns an epoch counter, incremented before the first and after the last
+//     reference to a list node in an operation (so: odd = inside a critical section);
+//   * a thread that needs to recycle retired memory runs a *barrier*: it snapshots all
+//     odd epochs and waits for each to change, which proves the owning threads have left
+//     the critical sections that could reference the retired nodes.
+//
+// Memory-model note: entering a critical section is a seq_cst RMW and the barrier reads
+// epochs with seq_cst. This gives the store-load ordering the scheme needs (announce
+// in-CS before reading shared pointers; unlink before reading epochs) — the same fence
+// discipline used by folly's RCU and crossbeam-epoch. On x86 the RMWs are full fences
+// anyway, so this costs nothing over the paper's implicit sequential consistency.
+#ifndef SRL_EPOCH_EPOCH_DOMAIN_H_
+#define SRL_EPOCH_EPOCH_DOMAIN_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/sync/cacheline.h"
+#include "src/sync/pause.h"
+
+namespace srl {
+
+// A reclamation domain: a set of threads whose critical sections guard each other's
+// retired memory. Most code uses EpochDomain::Global(); separate instances exist so tests
+// can exercise the machinery in isolation.
+class EpochDomain {
+ public:
+  static constexpr std::size_t kMaxThreads = 512;
+
+  // Per-thread epoch record. Obtained once per thread (cached in a thread_local by
+  // ThreadSlot below) and released when the thread exits.
+  struct alignas(kCacheLineSize) ThreadRec {
+    std::atomic<uint64_t> epoch{0};   // odd while inside a critical section
+    std::atomic<bool> in_use{false};  // slot allocated to a live thread
+    uint32_t depth = 0;               // nesting level; owner-thread access only
+  };
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // The process-wide domain shared by all range locks and concurrent structures
+  // ("each thread has only two pools, regardless of the number of range locks it
+  // accesses" — §4.4).
+  static EpochDomain& Global();
+
+  // Claims a free thread record. Aborts the process if more than kMaxThreads concurrent
+  // threads register (a deliberate static limit, as in most epoch implementations).
+  ThreadRec* AcquireRec();
+
+  // Returns a record to the free set. The caller must not be in a critical section.
+  void ReleaseRec(ThreadRec* rec);
+
+  // Marks the start of a critical section for `rec` (epoch becomes odd). Reentrant:
+  // nested Enter/Exit pairs (e.g. a range-lock acquisition inside a skip-list
+  // operation's critical section) only toggle the epoch at the outermost level, so the
+  // whole nest stays protected.
+  static void Enter(ThreadRec* rec) {
+    if (rec->depth++ == 0) {
+      rec->epoch.fetch_add(1, std::memory_order_seq_cst);
+    }
+  }
+
+  // Marks the end of a critical section for `rec` (epoch becomes even again at the
+  // outermost level).
+  static void Exit(ThreadRec* rec) {
+    if (--rec->depth == 0) {
+      rec->epoch.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  // Waits until every critical section that was in progress when the call started has
+  // finished. After Barrier() returns, memory unlinked before the call is unreachable
+  // from any live traversal and may be reclaimed. `self` (may be null) is skipped.
+  void Barrier(const ThreadRec* self = nullptr) const;
+
+  // Number of records currently registered (for tests / introspection).
+  std::size_t LiveThreads() const;
+
+ private:
+  ThreadRec recs_[kMaxThreads];
+  std::atomic<std::size_t> high_water_{0};  // one past the highest slot ever used
+};
+
+// RAII helper binding the current thread to a domain record for the lifetime of the
+// thread. The first call on a thread claims a slot; the slot is released when the thread
+// terminates.
+EpochDomain::ThreadRec* CurrentThreadRec(EpochDomain& domain);
+
+// RAII critical-section guard.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochDomain& domain) : rec_(CurrentThreadRec(domain)) {
+    EpochDomain::Enter(rec_);
+  }
+  ~EpochGuard() { EpochDomain::Exit(rec_); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain::ThreadRec* rec_;
+};
+
+}  // namespace srl
+
+#endif  // SRL_EPOCH_EPOCH_DOMAIN_H_

@@ -1,0 +1,147 @@
+// Thread-local object pools amortizing epoch reclamation (paper §4.4).
+//
+// Each thread keeps exactly two pools per node type:
+//   * `active`    — nodes ready to be handed out for new range acquisitions;
+//   * `reclaimed` — nodes this thread unlinked from some lock's list but that may still be
+//                   referenced by concurrent traversals.
+// When the active pool runs dry the thread runs an epoch barrier, after which everything
+// in `reclaimed` is provably unreachable; the pools are swapped, then the new active pool
+// is replenished up to kTargetSize if it holds fewer than kTargetSize/2 nodes and trimmed
+// back to kTargetSize if it holds more than 2*kTargetSize. In a balanced workload the
+// system allocator is therefore only touched during warm-up, exactly as the paper notes.
+//
+// Pools are bound to EpochDomain::Global(): the barrier must cover every thread that can
+// traverse a list containing these nodes, and the global domain is the only set with that
+// property.
+#ifndef SRL_EPOCH_NODE_POOL_H_
+#define SRL_EPOCH_NODE_POOL_H_
+
+#include <cstddef>
+
+#include "src/epoch/epoch_domain.h"
+
+namespace srl {
+
+// T must provide `T* pool_next` usable while the node is free. (LNode aliases this onto
+// its atomic next field; see src/core/lnode.h.)
+template <typename T>
+struct PoolTraits {
+  static void SetNext(T* node, T* next) { node->pool_next = next; }
+  static T* GetNext(T* node) { return node->pool_next; }
+};
+
+// kTarget is the paper's N (128 by default; templated so the pool-size ablation bench
+// can sweep it).
+template <typename T, typename Traits = PoolTraits<T>, std::size_t kTarget = 128>
+class NodePool {
+ public:
+  static constexpr std::size_t kTargetSize = kTarget;
+
+  NodePool() : rec_(CurrentThreadRec(EpochDomain::Global())) {
+    Replenish(kTargetSize);
+  }
+
+  ~NodePool() {
+    // Everything in `reclaimed` may still be referenced; wait out in-flight traversals.
+    EpochDomain::Global().Barrier(rec_);
+    FreeAll(&active_);
+    FreeAll(&reclaimed_);
+  }
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  // Hands out a node for a new acquisition. Must not be called from inside an epoch
+  // critical section (the refill path runs a barrier).
+  T* Alloc() {
+    if (active_.head == nullptr) {
+      Refill();
+    }
+    return Pop(&active_);
+  }
+
+  // Returns an unused node (one that never entered a shared list) straight to the active
+  // pool — no grace period required.
+  void Recycle(T* node) { Push(&active_, node); }
+
+  // Accepts a node that was just physically unlinked from a shared list. It becomes
+  // allocatable only after a future barrier.
+  void Retire(T* node) { Push(&reclaimed_, node); }
+
+  std::size_t ActiveSize() const { return active_.size; }
+  std::size_t ReclaimedSize() const { return reclaimed_.size; }
+
+  // The calling thread's pool for T. One instance per (thread, T).
+  static NodePool& Local() {
+    thread_local NodePool pool;
+    return pool;
+  }
+
+ private:
+  struct List {
+    T* head = nullptr;
+    std::size_t size = 0;
+  };
+
+  static void Push(List* list, T* node) {
+    Traits::SetNext(node, list->head);
+    list->head = node;
+    ++list->size;
+  }
+
+  static T* Pop(List* list) {
+    T* node = list->head;
+    list->head = Traits::GetNext(node);
+    --list->size;
+    return node;
+  }
+
+  void Refill() {
+    if (rec_->depth > 0) {
+      // This thread is inside an epoch critical section (e.g. a range acquisition made
+      // from within a skip-list operation). Running the barrier here could deadlock:
+      // two threads in this state would each wait for the other's never-ending epoch.
+      // Allocating is always safe, so take fresh nodes now and leave the reclaimed pool
+      // for a future refill made from outside any critical section.
+      Replenish(kTargetSize);
+      return;
+    }
+    EpochDomain::Global().Barrier(rec_);
+    // After the barrier every node in `reclaimed` is unreachable: swap the (empty) active
+    // pool with it.
+    List tmp = active_;
+    active_ = reclaimed_;
+    reclaimed_ = tmp;
+    if (active_.size < kTargetSize / 2) {
+      Replenish(kTargetSize - active_.size);
+    } else if (active_.size > 2 * kTargetSize) {
+      Trim(kTargetSize);
+    }
+  }
+
+  void Replenish(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      Push(&active_, new T());
+    }
+  }
+
+  void Trim(std::size_t down_to) {
+    while (active_.size > down_to) {
+      delete Pop(&active_);
+    }
+  }
+
+  static void FreeAll(List* list) {
+    while (list->head != nullptr) {
+      delete Pop(list);
+    }
+  }
+
+  EpochDomain::ThreadRec* rec_;
+  List active_;
+  List reclaimed_;
+};
+
+}  // namespace srl
+
+#endif  // SRL_EPOCH_NODE_POOL_H_

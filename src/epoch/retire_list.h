@@ -1,0 +1,86 @@
+// Generic epoch-deferred deletion for heterogeneous objects (skip-list nodes, VMAs).
+//
+// Unlike NodePool (which recycles fixed-type lock nodes), RetireList frees arbitrary
+// objects once a grace period has elapsed. Retired objects accumulate in a thread-local
+// buffer; when the buffer reaches kFlushThreshold the thread runs one epoch barrier and
+// frees the whole batch, amortizing the barrier cost.
+#ifndef SRL_EPOCH_RETIRE_LIST_H_
+#define SRL_EPOCH_RETIRE_LIST_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/epoch/epoch_domain.h"
+
+namespace srl {
+
+class RetireList {
+ public:
+  static constexpr std::size_t kFlushThreshold = 256;
+
+  RetireList() : rec_(CurrentThreadRec(EpochDomain::Global())) {}
+
+  ~RetireList() { Flush(); }
+
+  RetireList(const RetireList&) = delete;
+  RetireList& operator=(const RetireList&) = delete;
+
+  // Defers `delete static_cast<T*>(obj)` until after a grace period. Must be called by
+  // the thread that made the object unreachable, after unlinking it. Never flushes
+  // inline: Retire() may legally be called while the thread holds locks or ranges, and a
+  // barrier at that point could deadlock with threads waiting on those ranges. Callers
+  // invoke MaybeFlush() at a quiescent point (holding nothing) instead.
+  template <typename T>
+  void Retire(T* obj) {
+    pending_.push_back({obj, [](void* p) { delete static_cast<T*>(p); }});
+  }
+
+  // As above, for objects with bespoke deallocation (e.g. variable-height skip-list
+  // nodes created with raw operator new).
+  void RetireCustom(void* obj, void (*deleter)(void*)) {
+    pending_.push_back({obj, deleter});
+  }
+
+  // Flushes if the pending batch is large. Call at operation boundaries, while holding no
+  // locks or ranges and outside any epoch critical section.
+  void MaybeFlush() {
+    if (pending_.size() >= kFlushThreshold) {
+      Flush();
+    }
+  }
+
+  // Runs a barrier and frees everything retired so far. Must not be called from inside an
+  // epoch critical section.
+  void Flush() {
+    if (pending_.empty()) {
+      return;
+    }
+    EpochDomain::Global().Barrier(rec_);
+    for (const Pending& p : pending_) {
+      p.deleter(p.obj);
+    }
+    pending_.clear();
+  }
+
+  std::size_t PendingCount() const { return pending_.size(); }
+
+  // The calling thread's retire list.
+  static RetireList& Local() {
+    thread_local RetireList list;
+    return list;
+  }
+
+ private:
+  struct Pending {
+    void* obj;
+    void (*deleter)(void*);
+  };
+
+  EpochDomain::ThreadRec* rec_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace srl
+
+#endif  // SRL_EPOCH_RETIRE_LIST_H_

@@ -1,0 +1,82 @@
+// Minimal command-line flag parsing for the bench binaries.
+//
+// Flags take the form --name=value or --name value; bare --name is a boolean true.
+// Unknown flags are tolerated (benches print their understood flags with --help).
+#ifndef SRL_HARNESS_CLI_H_
+#define SRL_HARNESS_CLI_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace srl {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      args_.emplace_back(argv[i]);
+    }
+  }
+
+  bool Has(const std::string& name) const {
+    for (const std::string& a : args_) {
+      if (a == name || a.rfind(name + "=", 0) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string GetString(const std::string& name, const std::string& def) const {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const std::string& a = args_[i];
+      if (a.rfind(name + "=", 0) == 0) {
+        return a.substr(name.size() + 1);
+      }
+      if (a == name && i + 1 < args_.size()) {
+        return args_[i + 1];
+      }
+    }
+    return def;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    const std::string v = GetString(name, "");
+    return v.empty() ? def : std::strtoll(v.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    const std::string v = GetString(name, "");
+    return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& name) const { return Has(name); }
+
+  // Comma-separated integer list, e.g. --threads=1,2,4,8.
+  std::vector<int> GetIntList(const std::string& name, std::vector<int> def) const {
+    const std::string v = GetString(name, "");
+    if (v.empty()) {
+      return def;
+    }
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos < v.size()) {
+      out.push_back(std::atoi(v.c_str() + pos));
+      const std::size_t comma = v.find(',', pos);
+      if (comma == std::string::npos) {
+        break;
+      }
+      pos = comma + 1;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+}  // namespace srl
+
+#endif  // SRL_HARNESS_CLI_H_

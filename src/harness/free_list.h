@@ -1,0 +1,51 @@
+// Minimal thread-local free list for node types whose lifetimes never escape their
+// owner's synchronized sections (e.g., the tree range lock's nodes, which are only
+// observed while the auxiliary spin lock serializes access, or while the owner waits on
+// them). No grace periods needed — contrast with src/epoch/node_pool.h.
+#ifndef SRL_HARNESS_FREE_LIST_H_
+#define SRL_HARNESS_FREE_LIST_H_
+
+namespace srl {
+
+// T must provide `T* pool_next`.
+template <typename T>
+class FreeList {
+ public:
+  FreeList() = default;
+  FreeList(const FreeList&) = delete;
+  FreeList& operator=(const FreeList&) = delete;
+
+  ~FreeList() {
+    while (head_ != nullptr) {
+      T* n = head_;
+      head_ = n->pool_next;
+      delete n;
+    }
+  }
+
+  T* Get() {
+    if (head_ == nullptr) {
+      return new T();
+    }
+    T* n = head_;
+    head_ = n->pool_next;
+    return n;
+  }
+
+  void Put(T* n) {
+    n->pool_next = head_;
+    head_ = n;
+  }
+
+  static FreeList& Local() {
+    thread_local FreeList list;
+    return list;
+  }
+
+ private:
+  T* head_ = nullptr;
+};
+
+}  // namespace srl
+
+#endif  // SRL_HARNESS_FREE_LIST_H_

@@ -1,0 +1,184 @@
+// Uniform adapters over every range-lock implementation in the repository.
+//
+// Tests (typed suites) and benchmarks (template sweeps) drive all lock flavours through
+// this single interface:
+//
+//   struct Adapter {
+//     using Handle = ...;
+//     static constexpr bool kSharedReaders;   // readers of overlapping ranges coexist
+//     static const char* Name();
+//     Handle AcquireRead(const Range&);
+//     Handle AcquireWrite(const Range&);
+//     void Release(Handle);
+//   };
+//
+// Exclusive locks serve reads as writes (kSharedReaders == false), mirroring how the
+// paper benchmarks lustre-ex / list-ex in read workloads.
+#ifndef SRL_HARNESS_LOCK_ADAPTERS_H_
+#define SRL_HARNESS_LOCK_ADAPTERS_H_
+
+#include "src/baselines/segment_range_lock.h"
+#include "src/baselines/tree_range_lock.h"
+#include "src/core/fair_list_range_lock.h"
+#include "src/core/list_range_lock.h"
+#include "src/core/list_rw_range_lock.h"
+#include "src/core/range.h"
+#include "src/sync/rw_semaphore.h"
+
+namespace srl {
+
+// list-ex: the paper's exclusive list-based range lock (§4.1).
+struct ListExAdapter {
+  using Handle = ListRangeLock::Handle;
+  static constexpr bool kSharedReaders = false;
+  static const char* Name() { return "list-ex"; }
+
+  Handle AcquireRead(const Range& r) { return lock.Lock(r); }
+  Handle AcquireWrite(const Range& r) { return lock.Lock(r); }
+  void Release(Handle h) { lock.Unlock(h); }
+
+  ListRangeLock lock;
+};
+
+// list-ex with the §4.5 fast path enabled.
+struct ListExFastPathAdapter {
+  using Handle = ListRangeLock::Handle;
+  static constexpr bool kSharedReaders = false;
+  static const char* Name() { return "list-ex-fp"; }
+
+  ListExFastPathAdapter() : lock(ListRangeLock::Options{.enable_fast_path = true}) {}
+
+  Handle AcquireRead(const Range& r) { return lock.Lock(r); }
+  Handle AcquireWrite(const Range& r) { return lock.Lock(r); }
+  void Release(Handle h) { lock.Unlock(h); }
+
+  ListRangeLock lock;
+};
+
+// list-rw: the paper's reader-writer list-based range lock (§4.2).
+struct ListRwAdapter {
+  using Handle = ListRwRangeLock::Handle;
+  static constexpr bool kSharedReaders = true;
+  static const char* Name() { return "list-rw"; }
+
+  Handle AcquireRead(const Range& r) { return lock.LockRead(r); }
+  Handle AcquireWrite(const Range& r) { return lock.LockWrite(r); }
+  void Release(Handle h) { lock.Unlock(h); }
+
+  ListRwRangeLock lock;
+};
+
+// list-rw with the fast path enabled.
+struct ListRwFastPathAdapter {
+  using Handle = ListRwRangeLock::Handle;
+  static constexpr bool kSharedReaders = true;
+  static const char* Name() { return "list-rw-fp"; }
+
+  ListRwFastPathAdapter() : lock(ListRwRangeLock::Options{.enable_fast_path = true}) {}
+
+  Handle AcquireRead(const Range& r) { return lock.LockRead(r); }
+  Handle AcquireWrite(const Range& r) { return lock.LockWrite(r); }
+  void Release(Handle h) { lock.Unlock(h); }
+
+  ListRwRangeLock lock;
+};
+
+// list-ex behind the §4.3 fairness layer.
+struct FairListExAdapter {
+  using Handle = FairListRangeLock::Handle;
+  static constexpr bool kSharedReaders = false;
+  static const char* Name() { return "list-ex-fair"; }
+
+  Handle AcquireRead(const Range& r) { return lock.Lock(r); }
+  Handle AcquireWrite(const Range& r) { return lock.Lock(r); }
+  void Release(Handle h) { lock.Unlock(h); }
+
+  FairListRangeLock lock;
+};
+
+// list-rw behind the §4.3 fairness layer.
+struct FairListRwAdapter {
+  using Handle = FairListRwRangeLock::Handle;
+  static constexpr bool kSharedReaders = true;
+  static const char* Name() { return "list-rw-fair"; }
+
+  Handle AcquireRead(const Range& r) { return lock.LockRead(r); }
+  Handle AcquireWrite(const Range& r) { return lock.LockWrite(r); }
+  void Release(Handle h) { lock.Unlock(h); }
+
+  FairListRwRangeLock lock;
+};
+
+// lustre-ex: the user-space port of the kernel's exclusive tree range lock.
+struct TreeExAdapter {
+  using Handle = TreeRangeLock::Handle;
+  static constexpr bool kSharedReaders = false;
+  static const char* Name() { return "lustre-ex"; }
+
+  Handle AcquireRead(const Range& r) { return lock.AcquireWrite(r); }
+  Handle AcquireWrite(const Range& r) { return lock.AcquireWrite(r); }
+  void Release(Handle h) { lock.Release(h); }
+
+  TreeRangeLock lock;
+};
+
+// kernel-rw: the reader-writer tree range lock (Bueso's patch, ported).
+struct TreeRwAdapter {
+  using Handle = TreeRangeLock::Handle;
+  static constexpr bool kSharedReaders = true;
+  static const char* Name() { return "kernel-rw"; }
+
+  Handle AcquireRead(const Range& r) { return lock.AcquireRead(r); }
+  Handle AcquireWrite(const Range& r) { return lock.AcquireWrite(r); }
+  void Release(Handle h) { lock.Release(h); }
+
+  TreeRangeLock lock;
+};
+
+// pnova-rw: segment-per-RW-lock baseline. The default geometry suits the unit tests;
+// benches construct their own SegmentRangeLock with workload-matched geometry.
+struct SegmentRwAdapter {
+  using Handle = SegmentRangeLock::Handle;
+  static constexpr bool kSharedReaders = true;
+  static const char* Name() { return "pnova-rw"; }
+
+  SegmentRwAdapter() : lock(/*universe_end=*/1024, /*num_segments=*/64) {}
+
+  Handle AcquireRead(const Range& r) { return lock.AcquireRead(r); }
+  Handle AcquireWrite(const Range& r) { return lock.AcquireWrite(r); }
+  void Release(Handle h) { lock.Release(h); }
+
+  SegmentRangeLock lock;
+};
+
+// stock: a plain reader-writer semaphore treated as a degenerate range lock that ignores
+// the range (always whole-resource) — the mmap_sem baseline of the kernel experiments.
+struct RwSemAdapter {
+  struct Handle {
+    bool reader = false;
+  };
+  static constexpr bool kSharedReaders = true;
+  static const char* Name() { return "stock-rwsem"; }
+
+  Handle AcquireRead(const Range&) {
+    sem.lock_shared();
+    return Handle{true};
+  }
+  Handle AcquireWrite(const Range&) {
+    sem.lock();
+    return Handle{false};
+  }
+  void Release(Handle h) {
+    if (h.reader) {
+      sem.unlock_shared();
+    } else {
+      sem.unlock();
+    }
+  }
+
+  RwSemaphore sem;
+};
+
+}  // namespace srl
+
+#endif  // SRL_HARNESS_LOCK_ADAPTERS_H_

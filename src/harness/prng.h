@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// splitmix64 seeds xoshiro256**, the standard pairing recommended by the xoshiro
+// authors. Implemented from the public-domain reference algorithms so benchmarks are
+// reproducible across standard libraries (std::mt19937 is heavier and its distributions
+// are not portable bit-for-bit).
+#ifndef SRL_HARNESS_PRNG_H_
+#define SRL_HARNESS_PRNG_H_
+
+#include <cstdint>
+
+namespace srl {
+
+// One-off mixer; also usable standalone for hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Fast, high-quality 64-bit PRNG (xoshiro256**). Not cryptographic.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    for (auto& word : s_) {
+      word = SplitMix64(seed);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Bound must be non-zero. Uses the widening-multiply trick
+  // (Lemire) — no modulo bias worth caring about at these bound sizes.
+  uint64_t NextBelow(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial.
+  bool NextChance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace srl
+
+#endif  // SRL_HARNESS_PRNG_H_

@@ -1,0 +1,43 @@
+// Summary statistics for repeated measurements.
+#ifndef SRL_HARNESS_STATS_H_
+#define SRL_HARNESS_STATS_H_
+
+#include <cmath>
+#include <vector>
+
+namespace srl {
+
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+
+  double RelStddevPct() const { return mean == 0 ? 0 : 100.0 * stddev / mean; }
+};
+
+inline Summary Summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) {
+    return s;
+  }
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) {
+    var += (x - s.mean) * (x - s.mean);
+  }
+  s.stddev = xs.size() > 1 ? std::sqrt(var / static_cast<double>(xs.size() - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace srl
+
+#endif  // SRL_HARNESS_STATS_H_

@@ -1,0 +1,78 @@
+// Aligned text / CSV table printer for the figure-reproduction benches.
+#ifndef SRL_HARNESS_TABLE_H_
+#define SRL_HARNESS_TABLE_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace srl {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print(std::ostream& os, bool csv) const {
+    if (csv) {
+      PrintDelimited(os, ",");
+      return;
+    }
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    PrintPadded(os, headers_, widths);
+    std::size_t total = 0;
+    for (std::size_t w : widths) {
+      total += w + 2;
+    }
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) {
+      PrintPadded(os, row, widths);
+    }
+  }
+
+  static std::string Num(double v, int decimals = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+  }
+
+ private:
+  void PrintDelimited(std::ostream& os, const char* sep) const {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c ? sep : "") << headers_[c];
+    }
+    os << "\n";
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << (c ? sep : "") << row[c];
+      }
+      os << "\n";
+    }
+  }
+
+  static void PrintPadded(std::ostream& os, const std::vector<std::string>& cells,
+                          const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c] << std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace srl
+
+#endif  // SRL_HARNESS_TABLE_H_

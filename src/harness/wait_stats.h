@@ -1,0 +1,75 @@
+// Lock wait-time accounting — the user-space analogue of the kernel's lock_stat
+// facility used for Figures 7 and 8.
+//
+// Like lock_stat, enabling collection introduces a probe effect (two clock reads per
+// acquisition); benches only attach a WaitStats sink for the wait-time experiments.
+#ifndef SRL_HARNESS_WAIT_STATS_H_
+#define SRL_HARNESS_WAIT_STATS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace srl {
+
+class WaitStats {
+ public:
+  void RecordRead(uint64_t ns) {
+    read_count_.fetch_add(1, std::memory_order_relaxed);
+    read_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  void RecordWrite(uint64_t ns) {
+    write_count_.fetch_add(1, std::memory_order_relaxed);
+    write_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  uint64_t ReadCount() const { return read_count_.load(std::memory_order_relaxed); }
+  uint64_t WriteCount() const { return write_count_.load(std::memory_order_relaxed); }
+
+  // Mean wait per acquisition, in nanoseconds.
+  double MeanReadNs() const { return Mean(read_ns_, read_count_); }
+  double MeanWriteNs() const { return Mean(write_ns_, write_count_); }
+  double MeanTotalNs() const {
+    const uint64_t c = ReadCount() + WriteCount();
+    if (c == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(read_ns_.load(std::memory_order_relaxed) +
+                               write_ns_.load(std::memory_order_relaxed)) /
+           static_cast<double>(c);
+  }
+
+  void Reset() {
+    read_count_.store(0, std::memory_order_relaxed);
+    read_ns_.store(0, std::memory_order_relaxed);
+    write_count_.store(0, std::memory_order_relaxed);
+    write_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  // Monotonic nanosecond timestamp for measuring waits.
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now().time_since_epoch())
+                                     .count());
+  }
+
+ private:
+  static double Mean(const std::atomic<uint64_t>& total, const std::atomic<uint64_t>& count) {
+    const uint64_t c = count.load(std::memory_order_relaxed);
+    if (c == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(total.load(std::memory_order_relaxed)) /
+           static_cast<double>(c);
+  }
+
+  std::atomic<uint64_t> read_count_{0};
+  std::atomic<uint64_t> read_ns_{0};
+  std::atomic<uint64_t> write_count_{0};
+  std::atomic<uint64_t> write_ns_{0};
+};
+
+}  // namespace srl
+
+#endif  // SRL_HARNESS_WAIT_STATS_H_

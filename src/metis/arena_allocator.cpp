@@ -1,0 +1,78 @@
+#include "src/metis/arena_allocator.h"
+
+#include <algorithm>
+
+namespace srl::metis {
+
+namespace {
+
+uint64_t RoundUp(uint64_t v, uint64_t to) { return (v + to - 1) / to * to; }
+
+}  // namespace
+
+ArenaAllocator::ArenaAllocator(vm::AddressSpace& as, uint64_t arena_pages,
+                               uint64_t grow_chunk_pages)
+    : as_(as),
+      grow_chunk_(grow_chunk_pages * kPageSize),
+      size_(arena_pages * kPageSize),
+      backing_(std::make_unique<uint8_t[]>(arena_pages * kPageSize)) {
+  base_ = as_.Mmap(size_, vm::kProtNone);
+  if (base_ == 0) {
+    healthy_ = false;
+  }
+}
+
+ArenaAllocator::~ArenaAllocator() {
+  if (base_ != 0) {
+    as_.Munmap(base_, size_);
+  }
+}
+
+void* ArenaAllocator::Alloc(uint64_t bytes) {
+  bytes = RoundUp(bytes == 0 ? 1 : bytes, 16);
+  if (top_ + bytes > size_ - kPageSize) {
+    return nullptr;  // keep at least one PROT_NONE tail page, as glibc arenas do
+  }
+  const uint64_t start = top_;
+  top_ += bytes;
+  if (top_ > committed_) {
+    // Expand the committed prefix: a head-of-the-PROT_NONE-VMA mprotect, i.e. the
+    // Figure 2 boundary move (structural only on the very first expansion).
+    const uint64_t new_committed =
+        std::min(size_ - kPageSize, RoundUp(top_, grow_chunk_));
+    if (!as_.Mprotect(base_ + committed_, new_committed - committed_,
+                      vm::kProtRead | vm::kProtWrite)) {
+      healthy_ = false;
+    }
+    committed_ = new_committed;
+  }
+  // First touch of each newly used page raises a write fault.
+  const uint64_t last_page = (top_ - 1) / kPageSize;
+  while (next_untouched_ <= last_page) {
+    if (!as_.PageFault(base_ + next_untouched_ * kPageSize, /*is_write=*/true)) {
+      healthy_ = false;
+    }
+    ++next_untouched_;
+  }
+  return backing_.get() + start;
+}
+
+void ArenaAllocator::Reset() {
+  top_ = 0;
+  if (committed_ > grow_chunk_) {
+    // Shrink: the committed VMA's tail rejoins the PROT_NONE VMA (tail-move).
+    if (!as_.Mprotect(base_ + grow_chunk_, committed_ - grow_chunk_, vm::kProtNone)) {
+      healthy_ = false;
+    }
+    if (!as_.MadviseDontNeed(base_ + grow_chunk_, committed_ - grow_chunk_)) {
+      healthy_ = false;
+    }
+    committed_ = grow_chunk_;
+    // Pages of the kept chunk stay resident; everything above was dropped and will
+    // fault again on reuse.
+    next_untouched_ = grow_chunk_ / kPageSize;
+  }
+  // Without a trim, previously touched pages all stay resident: keep the watermark.
+}
+
+}  // namespace srl::metis

@@ -1,0 +1,69 @@
+// Simulation of a GLIBC per-thread malloc arena (§1, §5.2).
+//
+// glibc initializes an arena by mmapping a large PROT_NONE region and mprotecting the
+// pages actually in use; allocation growth *expands* the committed (RW) prefix and trim
+// *shrinks* it. Both are boundary moves between the committed VMA and the PROT_NONE
+// remainder — exactly the metadata-only mprotect case the paper's speculative mechanism
+// targets (Figure 2). First touches of newly committed pages raise write faults.
+//
+// This class reproduces the pattern against a simulated AddressSpace while providing
+// real usable memory from a private backing buffer: callers allocate and use memory
+// normally, and every VM-visible side effect (mprotect growth, page faults, trim +
+// MADV_DONTNEED) is issued against the AddressSpace.
+#ifndef SRL_METIS_ARENA_ALLOCATOR_H_
+#define SRL_METIS_ARENA_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/vm/address_space.h"
+
+namespace srl::metis {
+
+class ArenaAllocator {
+ public:
+  static constexpr uint64_t kPageSize = vm::AddressSpace::kPageSize;
+
+  // Creates (mmaps) an arena of `arena_pages` pages, committed lazily in chunks of
+  // `grow_chunk_pages` pages (the growth granularity controls the mprotect rate).
+  ArenaAllocator(vm::AddressSpace& as, uint64_t arena_pages, uint64_t grow_chunk_pages);
+  ~ArenaAllocator();
+
+  ArenaAllocator(const ArenaAllocator&) = delete;
+  ArenaAllocator& operator=(const ArenaAllocator&) = delete;
+
+  // Bump-allocates `bytes` (16-byte aligned) of real, usable memory. Returns nullptr
+  // when the arena is exhausted (callers normally Reset() between phases). Issues
+  // mprotect expansion and first-touch write faults against the address space.
+  void* Alloc(uint64_t bytes);
+
+  // Frees everything at once (the end-of-phase behaviour of the MapReduce workers):
+  // shrinks the committed region back to one growth chunk via mprotect (a tail-move
+  // boundary change) and drops the pages with MADV_DONTNEED so re-expansion faults
+  // again, like glibc's trim.
+  void Reset();
+
+  // True if every VM operation the arena issued succeeded (protection faults or failed
+  // mprotects indicate a broken lock protocol).
+  bool Healthy() const { return healthy_; }
+
+  uint64_t SimulatedBase() const { return base_; }
+  uint64_t CommittedBytes() const { return committed_; }
+  uint64_t UsedBytes() const { return top_; }
+  uint64_t CapacityBytes() const { return size_; }
+
+ private:
+  vm::AddressSpace& as_;
+  uint64_t grow_chunk_;  // bytes
+  uint64_t base_ = 0;    // simulated address of the arena
+  uint64_t size_ = 0;    // arena capacity in bytes
+  uint64_t top_ = 0;     // bump offset
+  uint64_t committed_ = 0;        // RW prefix length (page multiple)
+  uint64_t next_untouched_ = 0;   // first page offset never written (for fault dedup)
+  std::unique_ptr<uint8_t[]> backing_;  // real memory handed to callers
+  bool healthy_ = true;
+};
+
+}  // namespace srl::metis
+
+#endif  // SRL_METIS_ARENA_ALLOCATOR_H_

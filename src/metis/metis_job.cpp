@@ -1,0 +1,184 @@
+#include "src/metis/metis_job.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/metis/arena_allocator.h"
+#include "src/metis/text_gen.h"
+#include "src/metis/word_table.h"
+
+namespace srl::metis {
+
+namespace {
+
+constexpr uint64_t kPage = vm::AddressSpace::kPageSize;
+
+// Shared reduce table: workers fold their per-round tables in under one mutex, like
+// Metis's final merge.
+struct ReduceTable {
+  std::mutex mu;
+  std::unordered_map<uint64_t, uint64_t> counts;  // word hash -> total count
+  uint64_t checksum = 0;
+};
+
+// Parses whitespace-separated words from [data, data+len), feeding each into the
+// worker's table. `base_pos` gives global word positions for the inverted index.
+// Returns the number of words parsed, or UINT64_MAX on arena exhaustion.
+uint64_t ParseChunk(const char* data, std::size_t len, WordTable* table,
+                    uint64_t base_pos) {
+  uint64_t words = 0;
+  std::size_t i = 0;
+  while (i < len) {
+    while (i < len && data[i] == ' ') {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < len && data[i] != ' ') {
+      ++i;
+    }
+    if (i > start) {
+      if (!table->Add(data + start, static_cast<uint32_t>(i - start),
+                      base_pos + words)) {
+        return UINT64_MAX;
+      }
+      ++words;
+    }
+  }
+  return words;
+}
+
+void FoldInto(ReduceTable* reduce, const WordTable& table) {
+  std::lock_guard<std::mutex> g(reduce->mu);
+  table.ForEach([&](const WordTable::Entry& e) {
+    reduce->counts[e.hash] += e.count;
+    // Order-independent digest over (hash, count) pairs.
+    reduce->checksum += e.hash * 0x9e3779b97f4a7c15ull + e.count;
+  });
+}
+
+}  // namespace
+
+const char* MetisAppName(MetisApp app) {
+  switch (app) {
+    case MetisApp::kWc:
+      return "wc";
+    case MetisApp::kWr:
+      return "wr";
+    case MetisApp::kWrmem:
+      return "wrmem";
+  }
+  return "?";
+}
+
+MetisResult RunMetis(vm::AddressSpace& as, const MetisConfig& cfg) {
+  MetisResult result;
+
+  // For wc/wr: one shared input "file", mmapped read-only into the address space with
+  // real bytes alongside. Workers read disjoint (worker, round) slices and raise a read
+  // fault per freshly touched page, as first-touch of a file mapping does.
+  std::string input;
+  uint64_t input_vaddr = 0;
+  const uint64_t slice = cfg.chunk_bytes;
+  if (cfg.app != MetisApp::kWrmem) {
+    TextGenerator gen(cfg.seed);
+    gen.Fill(&input, slice * static_cast<uint64_t>(cfg.threads) * cfg.rounds);
+    input_vaddr = as.Mmap(input.size(), vm::kProtRead);
+    if (input_vaddr == 0) {
+      return result;
+    }
+  }
+
+  ReduceTable reduce;
+  std::atomic<uint64_t> total_words{0};
+  std::atomic<bool> ok{true};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+  for (int w = 0; w < cfg.threads; ++w) {
+    workers.emplace_back([&, w] {
+      ArenaAllocator arena(as, cfg.arena_pages, cfg.grow_chunk_pages);
+      TextGenerator local_gen(cfg.seed * 7919 + w);
+      std::string scratch;  // wrmem generation buffer (content source)
+      uint64_t faulted_up_to = 0;  // input pages this worker has touched (wc/wr)
+
+      for (int round = 0; round < cfg.rounds && ok.load(std::memory_order_relaxed);
+           ++round) {
+        WordTable table(arena, cfg.app != MetisApp::kWc);
+        const char* data = nullptr;
+        std::size_t len = 0;
+
+        if (cfg.app == MetisApp::kWrmem) {
+          // Generate this round's text into the arena (write faults as pages are
+          // touched for the first time since the last trim).
+          scratch.clear();
+          local_gen.Fill(&scratch, slice);
+          char* buf = static_cast<char*>(arena.Alloc(scratch.size()));
+          if (buf == nullptr) {
+            ok.store(false);
+            return;
+          }
+          std::memcpy(buf, scratch.data(), scratch.size());
+          data = buf;
+          len = scratch.size();
+        } else {
+          // This worker's slice of the shared input for this round.
+          const uint64_t offset =
+              (static_cast<uint64_t>(round) * cfg.threads + w) * slice;
+          len = static_cast<std::size_t>(
+              std::min<uint64_t>(slice, input.size() - offset));
+          data = input.data() + offset;
+          // First-touch read faults over the slice's pages.
+          const uint64_t first_page = (input_vaddr + offset) / kPage;
+          const uint64_t last_page = (input_vaddr + offset + len - 1) / kPage;
+          for (uint64_t p = std::max(first_page, faulted_up_to); p <= last_page; ++p) {
+            if (!as.PageFault(p * kPage, /*is_write=*/false)) {
+              ok.store(false);
+              return;
+            }
+          }
+          faulted_up_to = last_page + 1;
+        }
+
+        const uint64_t words =
+            ParseChunk(data, len, &table,
+                       static_cast<uint64_t>(round) * cfg.threads * slice);
+        if (words == UINT64_MAX) {
+          ok.store(false);
+          return;
+        }
+        total_words.fetch_add(words, std::memory_order_relaxed);
+        FoldInto(&reduce, table);
+        // End of round: the worker's allocations die together; glibc trims the arena.
+        arena.Reset();
+      }
+      if (!arena.Healthy()) {
+        ok.store(false);
+      }
+    });
+  }
+  for (auto& th : workers) {
+    th.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (input_vaddr != 0) {
+    as.Munmap(input_vaddr, input.size());
+  }
+
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.total_words = total_words.load();
+  result.distinct_words = reduce.counts.size();
+  result.checksum = reduce.checksum;
+  result.ok = ok.load();
+  return result;
+}
+
+}  // namespace srl::metis

@@ -1,0 +1,54 @@
+// Metis-like MapReduce workloads (§7.2) over the simulated VM subsystem.
+//
+// The paper evaluates the kernel variants with three benchmarks from the Metis
+// MapReduce suite [27] that use mprotect extensively through the GLIBC allocator:
+//   wc     word count over an input file
+//   wr     inverted-index (word -> positions) over an input file
+//   wrmem  wr over a worker-generated in-memory buffer instead of a file
+//
+// This module reproduces their structure: worker threads run map rounds that parse
+// words into arena-backed hash tables (arena growth -> boundary-move mprotects; first
+// touches -> write faults; input scanning -> read faults), trim their arena between
+// rounds (shrink mprotect + MADV_DONTNEED), and fold results into a shared reduce table
+// at the end. The VM-operation mix per useful work is the experiment's knob; everything
+// else is ordinary compute.
+#ifndef SRL_METIS_METIS_JOB_H_
+#define SRL_METIS_METIS_JOB_H_
+
+#include <cstdint>
+
+#include "src/vm/address_space.h"
+
+namespace srl::metis {
+
+enum class MetisApp { kWc, kWr, kWrmem };
+
+const char* MetisAppName(MetisApp app);
+
+struct MetisConfig {
+  MetisApp app = MetisApp::kWc;
+  int threads = 4;
+  // Input text per worker per round, bytes. Total work = threads * rounds * chunk.
+  uint64_t chunk_bytes = 256 * 1024;
+  int rounds = 8;
+  uint64_t seed = 1;
+  // Arena geometry (pages). Growth chunk controls the mprotect rate.
+  uint64_t arena_pages = 4096;       // 16 MiB virtual arena per worker
+  uint64_t grow_chunk_pages = 4;     // 16 KiB growth granularity
+};
+
+struct MetisResult {
+  double seconds = 0;          // wall-clock for the whole job (map + reduce)
+  uint64_t total_words = 0;    // words processed (sanity/throughput metric)
+  uint64_t distinct_words = 0; // reduce-phase distinct count
+  uint64_t checksum = 0;       // order-independent digest for cross-variant validation
+  bool ok = false;             // no VM-operation failures observed
+};
+
+// Runs the job against `as`. The address space must be fresh or at least not contain
+// mappings that collide with the workers' arenas (workers mmap their own).
+MetisResult RunMetis(vm::AddressSpace& as, const MetisConfig& config);
+
+}  // namespace srl::metis
+
+#endif  // SRL_METIS_METIS_JOB_H_

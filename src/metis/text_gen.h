@@ -1,0 +1,56 @@
+// Synthetic text generation for the Metis-like workloads.
+//
+// wrmem "allocates a chunk of memory and fills it with random 'words'" (§7.2); wc and
+// wr read an input file. We generate deterministic pseudo-natural text: a fixed-size
+// vocabulary of random words sampled with a heavy-tailed (square-law) distribution, so
+// word frequencies are skewed the way natural text is and hash tables see realistic
+// hit/miss mixes.
+#ifndef SRL_METIS_TEXT_GEN_H_
+#define SRL_METIS_TEXT_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/harness/prng.h"
+
+namespace srl::metis {
+
+class TextGenerator {
+ public:
+  explicit TextGenerator(uint64_t seed, std::size_t vocabulary = 20000) : rng_(seed) {
+    vocab_.reserve(vocabulary);
+    for (std::size_t i = 0; i < vocabulary; ++i) {
+      const std::size_t len = 3 + rng_.NextBelow(9);
+      std::string w;
+      w.reserve(len);
+      for (std::size_t c = 0; c < len; ++c) {
+        w.push_back(static_cast<char>('a' + rng_.NextBelow(26)));
+      }
+      vocab_.push_back(std::move(w));
+    }
+  }
+
+  // Appends space-separated words until `out` holds at least `bytes` characters.
+  void Fill(std::string* out, std::size_t bytes) {
+    while (out->size() < bytes) {
+      out->append(Word());
+      out->push_back(' ');
+    }
+  }
+
+  // One word, square-law skewed towards the low vocabulary indices.
+  const std::string& Word() {
+    const double r = rng_.NextDouble();
+    const auto idx = static_cast<std::size_t>(r * r * static_cast<double>(vocab_.size()));
+    return vocab_[idx >= vocab_.size() ? vocab_.size() - 1 : idx];
+  }
+
+ private:
+  Xoshiro256 rng_;
+  std::vector<std::string> vocab_;
+};
+
+}  // namespace srl::metis
+
+#endif  // SRL_METIS_TEXT_GEN_H_

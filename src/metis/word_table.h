@@ -1,0 +1,152 @@
+// Arena-backed open-addressing hash table used by the map phase of the Metis-like
+// workloads. All storage — the bucket array, word copies, and posting chunks — comes
+// from the worker's arena, so table growth produces exactly the allocation pattern
+// (arena expansion mprotects plus first-touch faults) that stresses the VM subsystem.
+#ifndef SRL_METIS_WORD_TABLE_H_
+#define SRL_METIS_WORD_TABLE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/metis/arena_allocator.h"
+
+namespace srl::metis {
+
+// FNV-1a; cheap and adequate for word keys.
+inline uint64_t HashBytes(const char* data, std::size_t len) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h = (h ^ static_cast<uint8_t>(data[i])) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+class WordTable {
+ public:
+  struct PostingChunk {
+    static constexpr int kCap = 8;
+    uint64_t pos[kCap];
+    uint32_t used = 0;
+    PostingChunk* next = nullptr;
+  };
+
+  struct Entry {
+    uint64_t hash = 0;
+    const char* word = nullptr;  // arena copy; null slot marker
+    uint32_t len = 0;
+    uint32_t count = 0;
+    PostingChunk* postings = nullptr;  // wr/wrmem only
+  };
+
+  // `track_positions` selects inverted-index mode (wr/wrmem): every occurrence is
+  // recorded, which multiplies the allocation rate.
+  WordTable(ArenaAllocator& arena, bool track_positions, uint32_t initial_capacity = 256)
+      : arena_(arena), track_positions_(track_positions) {
+    capacity_ = initial_capacity;
+    slots_ = AllocSlots(capacity_);
+  }
+
+  // Returns false if the arena ran out of memory (caller resets and retries the phase).
+  bool Add(const char* word, uint32_t len, uint64_t position) {
+    if (slots_ == nullptr) {
+      return false;
+    }
+    if ((size_ + 1) * 4 >= capacity_ * 3) {  // resize at 75% load
+      if (!Grow()) {
+        return false;
+      }
+    }
+    const uint64_t h = HashBytes(word, len);
+    Entry* e = Probe(slots_, capacity_, h, word, len);
+    if (e->word == nullptr) {
+      char* copy = static_cast<char*>(arena_.Alloc(len));
+      if (copy == nullptr) {
+        return false;
+      }
+      std::memcpy(copy, word, len);
+      e->hash = h;
+      e->word = copy;
+      e->len = len;
+      ++size_;
+    }
+    ++e->count;
+    if (track_positions_) {
+      PostingChunk* pc = e->postings;
+      if (pc == nullptr || pc->used == PostingChunk::kCap) {
+        auto* fresh = static_cast<PostingChunk*>(arena_.Alloc(sizeof(PostingChunk)));
+        if (fresh == nullptr) {
+          return false;
+        }
+        fresh->used = 0;
+        fresh->next = pc;
+        e->postings = fresh;
+        pc = fresh;
+      }
+      pc->pos[pc->used++] = position;
+    }
+    return true;
+  }
+
+  uint64_t DistinctWords() const { return size_; }
+
+  // Iterates live entries (for the reduce phase).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint32_t i = 0; i < capacity_; ++i) {
+      if (slots_[i].word != nullptr) {
+        fn(slots_[i]);
+      }
+    }
+  }
+
+ private:
+  Entry* AllocSlots(uint32_t n) {
+    auto* slots = static_cast<Entry*>(arena_.Alloc(sizeof(Entry) * n));
+    if (slots != nullptr) {
+      std::memset(static_cast<void*>(slots), 0, sizeof(Entry) * n);
+    }
+    return slots;
+  }
+
+  static Entry* Probe(Entry* slots, uint32_t capacity, uint64_t h, const char* word,
+                      uint32_t len) {
+    uint32_t i = static_cast<uint32_t>(h) & (capacity - 1);
+    for (;;) {
+      Entry* e = &slots[i];
+      if (e->word == nullptr ||
+          (e->hash == h && e->len == len && std::memcmp(e->word, word, len) == 0)) {
+        return e;
+      }
+      i = (i + 1) & (capacity - 1);
+    }
+  }
+
+  bool Grow() {
+    const uint32_t new_cap = capacity_ * 2;
+    Entry* fresh = AllocSlots(new_cap);
+    if (fresh == nullptr) {
+      return false;
+    }
+    for (uint32_t i = 0; i < capacity_; ++i) {
+      if (slots_[i].word != nullptr) {
+        Entry* e = Probe(fresh, new_cap, slots_[i].hash, slots_[i].word, slots_[i].len);
+        *e = slots_[i];
+      }
+    }
+    // The old array is abandoned in the arena — freed wholesale at the phase reset,
+    // like a bump allocator.
+    slots_ = fresh;
+    capacity_ = new_cap;
+    return true;
+  }
+
+  ArenaAllocator& arena_;
+  bool track_positions_;
+  Entry* slots_ = nullptr;
+  uint32_t capacity_ = 0;
+  uint64_t size_ = 0;
+};
+
+}  // namespace srl::metis
+
+#endif  // SRL_METIS_WORD_TABLE_H_

@@ -1,0 +1,101 @@
+// Interval tree: a red-black tree of half-open ranges augmented with the maximum end
+// point of each subtree, as used by the kernel range lock's "range tree" ([22], [4]).
+//
+// NodeT must embed the rb linkage fields (see rb_tree.h) plus
+//   uint64_t start, end;    // the half-open interval [start, end)
+//   uint64_t max_end;       // maintained by the tree
+#ifndef SRL_RBTREE_INTERVAL_TREE_H_
+#define SRL_RBTREE_INTERVAL_TREE_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/rbtree/rb_tree.h"
+
+namespace srl {
+
+template <typename NodeT>
+struct IntervalTraits {
+  static bool Less(const NodeT& a, const NodeT& b) { return a.start < b.start; }
+  static void Update(NodeT* n) {
+    uint64_t m = n->end;
+    if (n->rb_left != nullptr) {
+      m = std::max(m, n->rb_left->max_end);
+    }
+    if (n->rb_right != nullptr) {
+      m = std::max(m, n->rb_right->max_end);
+    }
+    n->max_end = m;
+  }
+};
+
+template <typename NodeT>
+class IntervalTree {
+ public:
+  bool Empty() const { return tree_.Empty(); }
+  std::size_t Size() const { return tree_.Size(); }
+
+  void Insert(NodeT* n) { tree_.Insert(n); }
+  void Erase(NodeT* n) { tree_.Erase(n); }
+
+  // Invokes fn(NodeT*) for every stored interval overlapping [start, end), in order of
+  // interval start. Subtrees whose max_end is <= start cannot contain an overlap and are
+  // pruned — the property that makes the kernel lock's blocking-count computation
+  // O(log n + hits).
+  template <typename Fn>
+  void ForEachOverlap(uint64_t start, uint64_t end, Fn&& fn) const {
+    Visit(tree_.Root(), start, end, fn);
+  }
+
+  // Number of stored intervals overlapping [start, end).
+  std::size_t CountOverlaps(uint64_t start, uint64_t end) const {
+    std::size_t n = 0;
+    ForEachOverlap(start, end, [&n](NodeT*) { ++n; });
+    return n;
+  }
+
+  NodeT* First() const { return tree_.First(); }
+  static NodeT* Next(NodeT* n) { return RbTree<NodeT, IntervalTraits<NodeT>>::Next(n); }
+
+  // --- Validation (tests) ---
+
+  bool ValidateStructure() const {
+    return tree_.ValidateStructure() && ValidateMaxEnd(tree_.Root());
+  }
+
+ private:
+  template <typename Fn>
+  static void Visit(NodeT* n, uint64_t start, uint64_t end, Fn&& fn) {
+    if (n == nullptr || n->max_end <= start) {
+      return;  // nothing in this subtree ends after `start` — no overlap possible
+    }
+    Visit(n->rb_left, start, end, fn);
+    if (n->start < end && start < n->end) {
+      fn(n);
+    }
+    if (n->start < end) {
+      // Right subtree starts at >= n->start; only worth visiting if n->start < end.
+      Visit(n->rb_right, start, end, fn);
+    }
+  }
+
+  static bool ValidateMaxEnd(const NodeT* n) {
+    if (n == nullptr) {
+      return true;
+    }
+    uint64_t expect = n->end;
+    if (n->rb_left != nullptr) {
+      expect = std::max(expect, n->rb_left->max_end);
+    }
+    if (n->rb_right != nullptr) {
+      expect = std::max(expect, n->rb_right->max_end);
+    }
+    return n->max_end == expect && ValidateMaxEnd(n->rb_left) && ValidateMaxEnd(n->rb_right);
+  }
+
+  RbTree<NodeT, IntervalTraits<NodeT>> tree_;
+};
+
+}  // namespace srl
+
+#endif  // SRL_RBTREE_INTERVAL_TREE_H_

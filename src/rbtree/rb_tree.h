@@ -1,0 +1,368 @@
+// Intrusive red-black tree with augmentation hooks, in the style of the Linux kernel's
+// lib/rbtree.c (which backs both mm_rb and the kernel range-lock's range tree).
+//
+// The tree does not own its nodes. NodeT must embed the linkage fields
+//   NodeT* rb_parent; NodeT* rb_left; NodeT* rb_right; bool rb_red;
+// and Traits must provide
+//   static bool Less(const NodeT& a, const NodeT& b);   // strict weak order
+//   static void Update(NodeT* n);                       // recompute augmented data from
+//                                                       // children (no-op if unused)
+// Equal keys are allowed (inserted to the right of existing equals, preserving
+// insertion order among equals in the in-order walk).
+//
+// Implementation follows CLRS chapter 13 with explicit parent pointers and a
+// null-tolerant delete fixup; Update() is invoked on every node whose subtree content
+// changes (rotations, transplant paths), which is exactly the discipline the kernel's
+// augmented rbtree documents.
+#ifndef SRL_RBTREE_RB_TREE_H_
+#define SRL_RBTREE_RB_TREE_H_
+
+#include <cstddef>
+
+namespace srl {
+
+// Default no-op augmentation.
+template <typename NodeT>
+struct RbNoAugment {
+  static void Update(NodeT*) {}
+};
+
+template <typename NodeT, typename Traits>
+class RbTree {
+ public:
+  RbTree() = default;
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+
+  bool Empty() const { return root_ == nullptr; }
+  std::size_t Size() const { return size_; }
+  NodeT* Root() const { return root_; }
+
+  // Links `n` into the tree. `n` must not currently be in any tree.
+  void Insert(NodeT* n) {
+    n->rb_left = nullptr;
+    n->rb_right = nullptr;
+    NodeT* parent = nullptr;
+    NodeT** link = &root_;
+    while (*link != nullptr) {
+      parent = *link;
+      link = Traits::Less(*n, *parent) ? &parent->rb_left : &parent->rb_right;
+    }
+    n->rb_parent = parent;
+    n->rb_red = true;
+    *link = n;
+    for (NodeT* p = n; p != nullptr; p = p->rb_parent) {
+      Traits::Update(p);
+    }
+    InsertFixup(n);
+    ++size_;
+  }
+
+  // Unlinks `n` from the tree. `n` must be in this tree.
+  void Erase(NodeT* z) {
+    NodeT* y = z;
+    NodeT* x = nullptr;       // child that replaces the removed/moved node (may be null)
+    NodeT* x_parent = nullptr;  // its parent after the splice
+    bool y_was_red = y->rb_red;
+
+    if (z->rb_left == nullptr) {
+      x = z->rb_right;
+      x_parent = z->rb_parent;
+      Transplant(z, z->rb_right);
+    } else if (z->rb_right == nullptr) {
+      x = z->rb_left;
+      x_parent = z->rb_parent;
+      Transplant(z, z->rb_left);
+    } else {
+      y = Minimum(z->rb_right);
+      y_was_red = y->rb_red;
+      x = y->rb_right;
+      if (y->rb_parent == z) {
+        x_parent = y;
+      } else {
+        x_parent = y->rb_parent;
+        Transplant(y, y->rb_right);
+        y->rb_right = z->rb_right;
+        y->rb_right->rb_parent = y;
+      }
+      Transplant(z, y);
+      y->rb_left = z->rb_left;
+      y->rb_left->rb_parent = y;
+      y->rb_red = z->rb_red;
+    }
+    for (NodeT* p = x_parent; p != nullptr; p = p->rb_parent) {
+      Traits::Update(p);
+    }
+    if (!y_was_red) {
+      EraseFixup(x, x_parent);
+    }
+    --size_;
+    z->rb_parent = z->rb_left = z->rb_right = nullptr;
+  }
+
+  NodeT* First() const {
+    if (root_ == nullptr) {
+      return nullptr;
+    }
+    return Minimum(root_);
+  }
+
+  NodeT* Last() const {
+    NodeT* n = root_;
+    if (n == nullptr) {
+      return nullptr;
+    }
+    while (n->rb_right != nullptr) {
+      n = n->rb_right;
+    }
+    return n;
+  }
+
+  // In-order successor / predecessor.
+  static NodeT* Next(NodeT* n) {
+    if (n->rb_right != nullptr) {
+      return Minimum(n->rb_right);
+    }
+    NodeT* p = n->rb_parent;
+    while (p != nullptr && n == p->rb_right) {
+      n = p;
+      p = p->rb_parent;
+    }
+    return p;
+  }
+
+  static NodeT* Prev(NodeT* n) {
+    if (n->rb_left != nullptr) {
+      NodeT* m = n->rb_left;
+      while (m->rb_right != nullptr) {
+        m = m->rb_right;
+      }
+      return m;
+    }
+    NodeT* p = n->rb_parent;
+    while (p != nullptr && n == p->rb_left) {
+      n = p;
+      p = p->rb_parent;
+    }
+    return p;
+  }
+
+  // --- Validation (tests) ---
+
+  // Checks the red-black invariants: root black, no red node with a red child, equal
+  // black height on every path, correct parent links, BST order.
+  bool ValidateStructure() const {
+    if (root_ == nullptr) {
+      return size_ == 0;
+    }
+    if (root_->rb_red || root_->rb_parent != nullptr) {
+      return false;
+    }
+    std::size_t count = 0;
+    return ValidateSubtree(root_, &count) >= 0 && count == size_;
+  }
+
+ private:
+  static NodeT* Minimum(NodeT* n) {
+    while (n->rb_left != nullptr) {
+      n = n->rb_left;
+    }
+    return n;
+  }
+
+  static bool IsRed(const NodeT* n) { return n != nullptr && n->rb_red; }
+
+  void Transplant(NodeT* u, NodeT* v) {
+    if (u->rb_parent == nullptr) {
+      root_ = v;
+    } else if (u == u->rb_parent->rb_left) {
+      u->rb_parent->rb_left = v;
+    } else {
+      u->rb_parent->rb_right = v;
+    }
+    if (v != nullptr) {
+      v->rb_parent = u->rb_parent;
+    }
+  }
+
+  void RotateLeft(NodeT* x) {
+    NodeT* y = x->rb_right;
+    x->rb_right = y->rb_left;
+    if (y->rb_left != nullptr) {
+      y->rb_left->rb_parent = x;
+    }
+    y->rb_parent = x->rb_parent;
+    if (x->rb_parent == nullptr) {
+      root_ = y;
+    } else if (x == x->rb_parent->rb_left) {
+      x->rb_parent->rb_left = y;
+    } else {
+      x->rb_parent->rb_right = y;
+    }
+    y->rb_left = x;
+    x->rb_parent = y;
+    Traits::Update(x);
+    Traits::Update(y);
+  }
+
+  void RotateRight(NodeT* x) {
+    NodeT* y = x->rb_left;
+    x->rb_left = y->rb_right;
+    if (y->rb_right != nullptr) {
+      y->rb_right->rb_parent = x;
+    }
+    y->rb_parent = x->rb_parent;
+    if (x->rb_parent == nullptr) {
+      root_ = y;
+    } else if (x == x->rb_parent->rb_right) {
+      x->rb_parent->rb_right = y;
+    } else {
+      x->rb_parent->rb_left = y;
+    }
+    y->rb_right = x;
+    x->rb_parent = y;
+    Traits::Update(x);
+    Traits::Update(y);
+  }
+
+  void InsertFixup(NodeT* z) {
+    while (IsRed(z->rb_parent)) {
+      NodeT* parent = z->rb_parent;
+      NodeT* grand = parent->rb_parent;  // exists: a red parent is never the root
+      if (parent == grand->rb_left) {
+        NodeT* uncle = grand->rb_right;
+        if (IsRed(uncle)) {
+          parent->rb_red = false;
+          uncle->rb_red = false;
+          grand->rb_red = true;
+          z = grand;
+        } else {
+          if (z == parent->rb_right) {
+            z = parent;
+            RotateLeft(z);
+            parent = z->rb_parent;
+          }
+          parent->rb_red = false;
+          grand->rb_red = true;
+          RotateRight(grand);
+        }
+      } else {
+        NodeT* uncle = grand->rb_left;
+        if (IsRed(uncle)) {
+          parent->rb_red = false;
+          uncle->rb_red = false;
+          grand->rb_red = true;
+          z = grand;
+        } else {
+          if (z == parent->rb_left) {
+            z = parent;
+            RotateRight(z);
+            parent = z->rb_parent;
+          }
+          parent->rb_red = false;
+          grand->rb_red = true;
+          RotateLeft(grand);
+        }
+      }
+    }
+    root_->rb_red = false;
+  }
+
+  void EraseFixup(NodeT* x, NodeT* x_parent) {
+    while (x != root_ && !IsRed(x)) {
+      if (x == x_parent->rb_left) {
+        NodeT* w = x_parent->rb_right;  // sibling; exists since x is doubly-black
+        if (IsRed(w)) {
+          w->rb_red = false;
+          x_parent->rb_red = true;
+          RotateLeft(x_parent);
+          w = x_parent->rb_right;
+        }
+        if (!IsRed(w->rb_left) && !IsRed(w->rb_right)) {
+          w->rb_red = true;
+          x = x_parent;
+          x_parent = x->rb_parent;
+        } else {
+          if (!IsRed(w->rb_right)) {
+            w->rb_left->rb_red = false;
+            w->rb_red = true;
+            RotateRight(w);
+            w = x_parent->rb_right;
+          }
+          w->rb_red = x_parent->rb_red;
+          x_parent->rb_red = false;
+          if (w->rb_right != nullptr) {
+            w->rb_right->rb_red = false;
+          }
+          RotateLeft(x_parent);
+          x = root_;
+          x_parent = nullptr;
+        }
+      } else {
+        NodeT* w = x_parent->rb_left;
+        if (IsRed(w)) {
+          w->rb_red = false;
+          x_parent->rb_red = true;
+          RotateRight(x_parent);
+          w = x_parent->rb_left;
+        }
+        if (!IsRed(w->rb_right) && !IsRed(w->rb_left)) {
+          w->rb_red = true;
+          x = x_parent;
+          x_parent = x->rb_parent;
+        } else {
+          if (!IsRed(w->rb_left)) {
+            w->rb_right->rb_red = false;
+            w->rb_red = true;
+            RotateLeft(w);
+            w = x_parent->rb_left;
+          }
+          w->rb_red = x_parent->rb_red;
+          x_parent->rb_red = false;
+          if (w->rb_left != nullptr) {
+            w->rb_left->rb_red = false;
+          }
+          RotateRight(x_parent);
+          x = root_;
+          x_parent = nullptr;
+        }
+      }
+    }
+    if (x != nullptr) {
+      x->rb_red = false;
+    }
+  }
+
+  // Returns black height of the subtree, or -1 on violation. Also verifies parent
+  // pointers and BST ordering via Less.
+  int ValidateSubtree(const NodeT* n, std::size_t* count) const {
+    if (n == nullptr) {
+      return 1;
+    }
+    ++*count;
+    const NodeT* l = n->rb_left;
+    const NodeT* r = n->rb_right;
+    if (l != nullptr && (l->rb_parent != n || Traits::Less(*n, *l))) {
+      return -1;
+    }
+    if (r != nullptr && (r->rb_parent != n || Traits::Less(*r, *n))) {
+      return -1;
+    }
+    if (n->rb_red && (IsRed(l) || IsRed(r))) {
+      return -1;
+    }
+    const int lh = ValidateSubtree(l, count);
+    const int rh = ValidateSubtree(r, count);
+    if (lh < 0 || rh < 0 || lh != rh) {
+      return -1;
+    }
+    return lh + (n->rb_red ? 0 : 1);
+  }
+
+  NodeT* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace srl
+
+#endif  // SRL_RBTREE_RB_TREE_H_

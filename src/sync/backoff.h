@@ -1,0 +1,38 @@
+// Bounded exponential backoff for contended CAS loops.
+#ifndef SRL_SYNC_BACKOFF_H_
+#define SRL_SYNC_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/sync/pause.h"
+
+namespace srl {
+
+// Doubles the number of CpuRelax() iterations on every call to Spin(), up to `max_spins`.
+// Reset() returns to the initial value. Cheap enough to live on the stack of a lock
+// acquisition path.
+class Backoff {
+ public:
+  explicit Backoff(uint32_t min_spins = 4, uint32_t max_spins = 1024)
+      : cur_(min_spins), min_(min_spins), max_(max_spins) {}
+
+  void Spin() {
+    for (uint32_t i = 0; i < cur_; ++i) {
+      CpuRelax();
+    }
+    if (cur_ < max_) {
+      cur_ *= 2;
+    }
+  }
+
+  void Reset() { cur_ = min_; }
+
+ private:
+  uint32_t cur_;
+  uint32_t min_;
+  uint32_t max_;
+};
+
+}  // namespace srl
+
+#endif  // SRL_SYNC_BACKOFF_H_

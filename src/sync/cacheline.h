@@ -1,0 +1,31 @@
+// Cache-line utilities shared by all concurrency modules.
+#ifndef SRL_SYNC_CACHELINE_H_
+#define SRL_SYNC_CACHELINE_H_
+
+#include <cstddef>
+#include <new>
+
+namespace srl {
+
+// Size used for padding to avoid false sharing. std::hardware_destructive_interference_size
+// is not universally available with a sane value, so we pin the common 64-byte line.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Wraps a value so that it occupies (at least) one exclusive cache line.
+// Used for per-thread slots, per-segment locks, and benchmark array slots.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace srl
+
+#endif  // SRL_SYNC_CACHELINE_H_

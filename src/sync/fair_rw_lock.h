@@ -1,0 +1,76 @@
+// Phase-fair ticket reader-writer lock (Brandenburg & Anderson, "Reader-writer
+// synchronization for shared-memory multiprocessor real-time systems", PF-T variant).
+//
+// This is the "auxiliary (fair) reader-writer lock" required by the fairness mechanism of
+// §4.3: when a thread repeatedly fails to acquire a range it bumps an impatient counter and
+// grabs this lock for write, which admits it ahead of all later arrivals.
+//
+// Properties: writers are FIFO among themselves; readers that arrive while a writer is
+// present wait for at most one writer phase; reader phases and writer phases alternate
+// under contention, so neither side starves.
+#ifndef SRL_SYNC_FAIR_RW_LOCK_H_
+#define SRL_SYNC_FAIR_RW_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/sync/pause.h"
+
+namespace srl {
+
+class FairRwLock {
+ public:
+  FairRwLock() = default;
+  FairRwLock(const FairRwLock&) = delete;
+  FairRwLock& operator=(const FairRwLock&) = delete;
+
+  void lock_shared() {
+    // Announce ourselves; the two low bits snapshot the writer-presence word at entry.
+    const uint32_t w = rin_.fetch_add(kReaderInc, std::memory_order_acquire) & kWriterMask;
+    if (w != 0) {
+      // A writer is present: wait until its presence word changes (it released, or the
+      // next writer — with a flipped phase bit — took over, which also ends our wait and
+      // gives phase-fairness: we only ever wait for one writer).
+      while ((rin_.load(std::memory_order_acquire) & kWriterMask) == w) {
+        CpuRelax();
+      }
+    }
+  }
+
+  void unlock_shared() { rout_.fetch_add(kReaderInc, std::memory_order_release); }
+
+  void lock() {
+    // Writers serialize through a ticket pair.
+    const uint32_t ticket = win_.fetch_add(1, std::memory_order_relaxed);
+    while (wout_.load(std::memory_order_acquire) != ticket) {
+      CpuRelax();
+    }
+    // Publish presence (blocks new readers) and snapshot how many readers are ahead of us.
+    const uint32_t w = kWriterPresent | (ticket & kPhaseBit);
+    const uint32_t readers_in = rin_.fetch_add(w, std::memory_order_acq_rel) & ~kWriterMask;
+    // Wait for every reader that entered before us to leave.
+    while (rout_.load(std::memory_order_acquire) != readers_in) {
+      CpuRelax();
+    }
+  }
+
+  void unlock() {
+    rin_.fetch_and(~kWriterMask, std::memory_order_release);
+    wout_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  static constexpr uint32_t kReaderInc = 0x4;       // readers count in the upper bits
+  static constexpr uint32_t kWriterPresent = 0x2;   // a writer holds or awaits the lock
+  static constexpr uint32_t kPhaseBit = 0x1;        // distinguishes consecutive writers
+  static constexpr uint32_t kWriterMask = kWriterPresent | kPhaseBit;
+
+  std::atomic<uint32_t> rin_{0};   // reader entries (upper bits) + writer presence (low bits)
+  std::atomic<uint32_t> rout_{0};  // reader exits
+  std::atomic<uint32_t> win_{0};   // writer ticket dispenser
+  std::atomic<uint32_t> wout_{0};  // writer tickets served
+};
+
+}  // namespace srl
+
+#endif  // SRL_SYNC_FAIR_RW_LOCK_H_

@@ -1,0 +1,22 @@
+// CPU-relax ("pause") primitive for polite busy-waiting, the Pause() of the paper's
+// pseudo-code (Listing 1).
+#ifndef SRL_SYNC_PAUSE_H_
+#define SRL_SYNC_PAUSE_H_
+
+namespace srl {
+
+// Hint to the CPU that we are spinning. Reduces the cost of exiting the spin loop
+// and yields pipeline resources to the sibling hyperthread.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace srl
+
+#endif  // SRL_SYNC_PAUSE_H_

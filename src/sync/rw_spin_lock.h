@@ -1,0 +1,77 @@
+// Writer-preferring reader-writer spin lock.
+//
+// Used as the per-segment lock of the pNOVA-style segment range lock (Kim et al., APSys'19)
+// and wherever a small, embeddable RW lock is needed.
+#ifndef SRL_SYNC_RW_SPIN_LOCK_H_
+#define SRL_SYNC_RW_SPIN_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/sync/pause.h"
+
+namespace srl {
+
+// State layout: bit 31 = writer active; bits [30:0] = active reader count.
+// A separate waiting-writer counter gives writers preference: new readers hold off while
+// any writer is queued, so writers cannot be starved by a reader stream.
+class RwSpinLock {
+ public:
+  RwSpinLock() = default;
+  RwSpinLock(const RwSpinLock&) = delete;
+  RwSpinLock& operator=(const RwSpinLock&) = delete;
+
+  void lock_shared() {
+    for (;;) {
+      if (writers_waiting_.load(std::memory_order_relaxed) == 0) {
+        uint32_t s = state_.load(std::memory_order_relaxed);
+        if ((s & kWriterBit) == 0 &&
+            state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+      }
+      CpuRelax();
+    }
+  }
+
+  bool try_lock_shared() {
+    uint32_t s = state_.load(std::memory_order_relaxed);
+    return (s & kWriterBit) == 0 &&
+           state_.compare_exchange_strong(s, s + 1, std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  void lock() {
+    writers_waiting_.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      uint32_t expected = 0;
+      if (state_.compare_exchange_weak(expected, kWriterBit, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        break;
+      }
+      CpuRelax();
+    }
+    writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  bool try_lock() {
+    uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriterBit, std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void unlock() { state_.store(0, std::memory_order_release); }
+
+ private:
+  static constexpr uint32_t kWriterBit = 1u << 31;
+
+  std::atomic<uint32_t> state_{0};
+  std::atomic<uint32_t> writers_waiting_{0};
+};
+
+}  // namespace srl
+
+#endif  // SRL_SYNC_RW_SPIN_LOCK_H_

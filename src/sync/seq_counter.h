@@ -1,0 +1,35 @@
+// Monotonic sequence counter used by the speculative mprotect mechanism (§5.2).
+//
+// The VM subsystem bumps this counter every time a full-range write acquisition of the
+// range lock is released; speculating operations snapshot it to detect that mm_rb may have
+// changed between their read-locked lookup and their refined write acquisition (Listing 4).
+#ifndef SRL_SYNC_SEQ_COUNTER_H_
+#define SRL_SYNC_SEQ_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace srl {
+
+class SeqCounter {
+ public:
+  SeqCounter() = default;
+  SeqCounter(const SeqCounter&) = delete;
+  SeqCounter& operator=(const SeqCounter&) = delete;
+
+  // Reads the current sequence value. Acquire so that a reader that later revalidates
+  // observes at least the tree state published before the last bump it saw.
+  uint64_t Read() const { return value_.load(std::memory_order_acquire); }
+
+  // Bumps the counter. Called with the full-range write lock held (or immediately before
+  // its release), so increments never race with each other in the intended usage; the
+  // atomic add keeps the type safe for any usage.
+  void Bump() { value_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace srl
+
+#endif  // SRL_SYNC_SEQ_COUNTER_H_

@@ -1,0 +1,46 @@
+// Test-and-test-and-set spin lock.
+//
+// This is the spin lock the paper uses in the user-space ports of the kernel range locks
+// (§7.1: "we used a simple test-test-and-set lock to implement a spin lock protecting the
+// range tree in lustre-ex and kernel-rw").
+#ifndef SRL_SYNC_SPIN_LOCK_H_
+#define SRL_SYNC_SPIN_LOCK_H_
+
+#include <atomic>
+
+#include "src/sync/pause.h"
+
+namespace srl {
+
+// Satisfies the C++ Lockable requirements (usable with std::lock_guard / std::unique_lock).
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+        CpuRelax();
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace srl
+
+#endif  // SRL_SYNC_SPIN_LOCK_H_

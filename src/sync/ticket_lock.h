@@ -1,0 +1,45 @@
+// FIFO ticket spin lock.
+#ifndef SRL_SYNC_TICKET_LOCK_H_
+#define SRL_SYNC_TICKET_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/sync/pause.h"
+
+namespace srl {
+
+// Strictly fair mutual-exclusion lock: threads are granted the lock in arrival order.
+// Used where FIFO admission matters more than raw throughput.
+class TicketLock {
+ public:
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void lock() {
+    const uint32_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+    while (serving_.load(std::memory_order_acquire) != ticket) {
+      CpuRelax();
+    }
+  }
+
+  bool try_lock() {
+    uint32_t serving = serving_.load(std::memory_order_acquire);
+    uint32_t expected = serving;
+    // Only succeeds when no one is queued: next_ == serving_ and we take the next ticket.
+    return next_.compare_exchange_strong(expected, serving + 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() { serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                                 std::memory_order_release); }
+
+ private:
+  std::atomic<uint32_t> next_{0};
+  std::atomic<uint32_t> serving_{0};
+};
+
+}  // namespace srl
+
+#endif  // SRL_SYNC_TICKET_LOCK_H_

@@ -1,0 +1,392 @@
+#include "src/vm/address_space.h"
+
+#include <cassert>
+
+namespace srl::vm {
+
+namespace {
+
+struct VariantConfig {
+  VmLockKind kind;
+  bool refine_fault;
+  bool refine_mprotect;
+};
+
+VariantConfig ConfigFor(VmVariant v) {
+  switch (v) {
+    case VmVariant::kStock:
+      return {VmLockKind::kStock, false, false};
+    case VmVariant::kTreeFull:
+      return {VmLockKind::kTree, false, false};
+    case VmVariant::kTreeRefined:
+      return {VmLockKind::kTree, true, true};
+    case VmVariant::kListFull:
+      return {VmLockKind::kList, false, false};
+    case VmVariant::kListRefined:
+      return {VmLockKind::kList, true, true};
+    case VmVariant::kListPf:
+      return {VmLockKind::kList, true, false};
+    case VmVariant::kListMprotect:
+      return {VmLockKind::kList, false, true};
+  }
+  return {VmLockKind::kStock, false, false};
+}
+
+}  // namespace
+
+const char* VmVariantName(VmVariant v) {
+  switch (v) {
+    case VmVariant::kStock:
+      return "stock";
+    case VmVariant::kTreeFull:
+      return "tree-full";
+    case VmVariant::kTreeRefined:
+      return "tree-refined";
+    case VmVariant::kListFull:
+      return "list-full";
+    case VmVariant::kListRefined:
+      return "list-refined";
+    case VmVariant::kListPf:
+      return "list-pf";
+    case VmVariant::kListMprotect:
+      return "list-mprotect";
+  }
+  return "?";
+}
+
+AddressSpace::AddressSpace(VmVariant variant) : variant_(variant) {
+  const VariantConfig cfg = ConfigFor(variant);
+  refine_fault_ = cfg.refine_fault;
+  refine_mprotect_ = cfg.refine_mprotect;
+  lock_ = MakeVmLock(cfg.kind);
+}
+
+AddressSpace::~AddressSpace() = default;
+
+Vma* AddressSpace::AllocVma(uint64_t start, uint64_t end, uint32_t prot) {
+  Vma* vma;
+  if (!vma_freelist_.empty()) {
+    vma = vma_freelist_.back();
+    vma_freelist_.pop_back();
+  } else {
+    vma_storage_.push_back(std::make_unique<Vma>());
+    vma = vma_storage_.back().get();
+  }
+  vma->start.store(start, std::memory_order_relaxed);
+  vma->end.store(end, std::memory_order_relaxed);
+  vma->prot.store(prot, std::memory_order_relaxed);
+  vma->rb_parent = vma->rb_left = vma->rb_right = nullptr;
+  return vma;
+}
+
+void AddressSpace::FreeVma(Vma* vma) { vma_freelist_.push_back(vma); }
+
+Vma* AddressSpace::FindVma(uint64_t addr) const {
+  Vma* n = mm_rb_.Root();
+  Vma* best = nullptr;
+  while (n != nullptr) {
+    if (n->End() > addr) {
+      best = n;
+      n = n->rb_left;
+    } else {
+      n = n->rb_right;
+    }
+  }
+  return best;
+}
+
+uint64_t AddressSpace::Mmap(uint64_t length, uint32_t prot) {
+  if (length == 0) {
+    return 0;
+  }
+  stats_.mmaps.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t size = PageUp(length);
+  // One guard page between allocations keeps distinct mappings (e.g. per-thread arenas)
+  // as distinct VMAs, as separate mmap calls produce in practice.
+  const uint64_t addr =
+      mmap_cursor_.fetch_add(size + kPageSize, std::memory_order_relaxed);
+  void* h = lock_->LockFullWrite();
+  mm_rb_.Insert(AllocVma(addr, addr + size, prot));
+  UnlockFullWrite(h);
+  return addr;
+}
+
+bool AddressSpace::Munmap(uint64_t addr, uint64_t length) {
+  if (length == 0) {
+    return false;
+  }
+  stats_.munmaps.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t s = PageDown(addr);
+  const uint64_t e = PageUp(addr + length);
+  if (speculate_unmap_lookup_) {
+    // Probe phase under a read acquisition: if the range maps nothing, the answer is
+    // stable (see SetUnmapLookupSpeculation) and the full write lock is never taken.
+    void* rh = lock_->LockRead({s, e});
+    Vma* v = FindVma(s);
+    const bool any_overlap = v != nullptr && v->Start() < e;
+    lock_->UnlockRead(rh);
+    if (!any_overlap) {
+      stats_.unmap_lookup_fastpath.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  void* h = lock_->LockFullWrite();
+  bool any = false;
+  Vma* v = FindVma(s);
+  while (v != nullptr && v->Start() < e) {
+    Vma* next = RbTree<Vma, VmaTraits>::Next(v);
+    const uint64_t vs = v->Start();
+    const uint64_t ve = v->End();
+    if (s <= vs && e >= ve) {
+      // Fully covered: remove.
+      mm_rb_.Erase(v);
+      FreeVma(v);
+    } else if (s <= vs) {
+      // Head clipped. Key grows but stays below the successor's start.
+      v->start.store(e, std::memory_order_relaxed);
+    } else if (e >= ve) {
+      // Tail clipped.
+      v->end.store(s, std::memory_order_relaxed);
+    } else {
+      // Hole in the middle: shrink v to the head, insert a new VMA for the tail.
+      v->end.store(s, std::memory_order_relaxed);
+      Vma* tail = AllocVma(e, ve, v->Prot());
+      mm_rb_.Insert(tail);
+    }
+    any = true;
+    v = next;
+  }
+  if (any) {
+    pages_.RemoveRange(s / kPageSize, e / kPageSize);
+  }
+  UnlockFullWrite(h);
+  return any;
+}
+
+bool AddressSpace::ApplyMprotectLocked(uint64_t s, uint64_t e, uint32_t prot) {
+  // Coverage check first — no partial effects on ENOMEM, matching the kernel's
+  // behaviour for the common case.
+  {
+    uint64_t cur = s;
+    Vma* v = FindVma(s);
+    while (cur < e) {
+      if (v == nullptr || v->Start() > cur) {
+        return false;
+      }
+      cur = v->End();
+      v = RbTree<Vma, VmaTraits>::Next(v);
+    }
+  }
+  // Split so that [s, e) is tiled by whole VMAs, flipping protections as we go. Splits
+  // always keep the existing node as the left piece (its tree key is unchanged) and
+  // insert the right piece as a new node, so tree order is never transiently violated.
+  Vma* v = FindVma(s);
+  while (v != nullptr && v->Start() < e) {
+    if (v->Prot() == prot) {
+      v = RbTree<Vma, VmaTraits>::Next(v);
+      continue;
+    }
+    if (v->Start() < s) {
+      Vma* tail = AllocVma(s, v->End(), v->Prot());
+      v->end.store(s, std::memory_order_relaxed);
+      mm_rb_.Insert(tail);
+      v = tail;
+      continue;  // reprocess the covered piece
+    }
+    if (v->End() > e) {
+      Vma* tail = AllocVma(e, v->End(), v->Prot());
+      v->end.store(e, std::memory_order_relaxed);
+      mm_rb_.Insert(tail);
+    }
+    v->prot.store(prot, std::memory_order_relaxed);
+    v = RbTree<Vma, VmaTraits>::Next(v);
+  }
+  // Merge sweep over the affected neighbourhood (the kernel merges eagerly in
+  // vma_merge; we restore the canonical form after the fact).
+  Vma* m = FindVma(s == 0 ? 0 : s - 1);
+  while (m != nullptr && m->Start() <= e) {
+    Vma* next = RbTree<Vma, VmaTraits>::Next(m);
+    if (next != nullptr && m->End() == next->Start() && m->Prot() == next->Prot()) {
+      m->end.store(next->End(), std::memory_order_relaxed);
+      mm_rb_.Erase(next);
+      FreeVma(next);
+      continue;  // try to absorb further
+    }
+    m = next;
+  }
+  return true;
+}
+
+AddressSpace::SpecCase AddressSpace::ClassifySpeculative(Vma* vma, uint64_t s, uint64_t e,
+                                                         uint32_t prot) {
+  const uint64_t vs = vma->Start();
+  const uint64_t ve = vma->End();
+  if (s < vs || e > ve) {
+    return SpecCase::kStructural;  // spans VMAs (or a gap) — full path sorts it out
+  }
+  if (vma->Prot() == prot) {
+    return SpecCase::kNoop;
+  }
+  Vma* prev = RbTree<Vma, VmaTraits>::Prev(vma);
+  Vma* next = RbTree<Vma, VmaTraits>::Next(vma);
+  const bool prev_mergeable =
+      prev != nullptr && prev->End() == vs && prev->Prot() == prot;
+  const bool next_mergeable =
+      next != nullptr && next->Start() == ve && next->Prot() == prot;
+  if (s == vs && e == ve) {
+    // Whole-VMA flip: only metadata-unchanged if no neighbour would merge (a merge
+    // removes a node from mm_rb — structural).
+    return (prev_mergeable || next_mergeable) ? SpecCase::kStructural
+                                              : SpecCase::kWholeFlip;
+  }
+  if (s == vs && prev_mergeable) {
+    return SpecCase::kHeadMove;  // Figure 2: the head of vma joins prev
+  }
+  if (e == ve && next_mergeable) {
+    return SpecCase::kTailMove;  // mirror image: the tail of vma joins next
+  }
+  return SpecCase::kStructural;  // interior change — needs a split
+}
+
+bool AddressSpace::Mprotect(uint64_t addr, uint64_t length, uint32_t prot) {
+  if (length == 0) {
+    return false;
+  }
+  stats_.mprotects.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t s = PageDown(addr);
+  const uint64_t e = PageUp(addr + length);
+
+  bool speculate = refine_mprotect_;
+  for (;;) {
+    if (!speculate) {
+      void* h = lock_->LockFullWrite();
+      const bool ok = ApplyMprotectLocked(s, e, prot);
+      UnlockFullWrite(h);
+      return ok;
+    }
+
+    // Listing 4: read-lock the argument range for the lookup phase.
+    void* rh = lock_->LockRead({s, e});
+    Vma* vma = FindVma(s);
+    if (vma == nullptr || vma->Start() > s) {
+      lock_->UnlockRead(rh);
+      return false;  // start address unmapped — ENOMEM
+    }
+    const uint64_t seq = seq_.Read();
+    const uint64_t aligned_start = vma->Start() - kPageSize;
+    const uint64_t aligned_end = vma->End() + kPageSize;
+    lock_->UnlockRead(rh);
+
+    // Re-acquire for write with the range widened to the VMA plus one page on each
+    // side, so concurrent boundary moves on the neighbours are excluded (§5.2).
+    void* wh = lock_->LockWrite({aligned_start, aligned_end});
+    if (seq != seq_.Read() || aligned_start != vma->Start() - kPageSize ||
+        aligned_end != vma->End() + kPageSize) {
+      lock_->UnlockWrite(wh);
+      stats_.spec_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;  // mm_rb may have changed under us — retry from the top
+    }
+
+    switch (ClassifySpeculative(vma, s, e, prot)) {
+      case SpecCase::kNoop:
+        break;
+      case SpecCase::kWholeFlip:
+        vma->prot.store(prot, std::memory_order_relaxed);
+        break;
+      case SpecCase::kHeadMove: {
+        // Shrink the receiver-side boundary last so the region transits through a
+        // (locked, unreachable) gap rather than a transient overlap.
+        Vma* prev = RbTree<Vma, VmaTraits>::Prev(vma);
+        vma->start.store(e, std::memory_order_relaxed);
+        prev->end.store(e, std::memory_order_relaxed);
+        break;
+      }
+      case SpecCase::kTailMove: {
+        Vma* next = RbTree<Vma, VmaTraits>::Next(vma);
+        vma->end.store(s, std::memory_order_relaxed);
+        next->start.store(s, std::memory_order_relaxed);
+        break;
+      }
+      case SpecCase::kStructural:
+        lock_->UnlockWrite(wh);
+        stats_.spec_fallback.fetch_add(1, std::memory_order_relaxed);
+        speculate = false;
+        continue;  // redo on the full path
+    }
+    lock_->UnlockWrite(wh);
+    stats_.spec_success.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+}
+
+bool AddressSpace::PageFault(uint64_t addr, bool is_write) {
+  stats_.faults.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t page_addr = PageDown(addr);
+  const Range r = refine_fault_ ? Range{page_addr, page_addr + kPageSize} : Range::Full();
+  void* h = lock_->LockRead(r);
+  Vma* vma = FindVma(addr);
+  bool ok = vma != nullptr && vma->Start() <= addr;
+  if (ok) {
+    const uint32_t required = is_write ? kProtWrite : kProtRead;
+    ok = (vma->Prot() & required) == required;
+  }
+  if (ok) {
+    if (pages_.Install(page_addr / kPageSize)) {
+      stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    stats_.fault_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  lock_->UnlockRead(h);
+  return ok;
+}
+
+bool AddressSpace::MadviseDontNeed(uint64_t addr, uint64_t length) {
+  if (length == 0) {
+    return false;
+  }
+  const uint64_t s = PageDown(addr);
+  const uint64_t e = PageUp(addr + length);
+  // MADV_DONTNEED runs under the read acquisition in the kernel: it only drops pages.
+  void* h = lock_->LockRead(refine_fault_ ? Range{s, e} : Range::Full());
+  pages_.RemoveRange(s / kPageSize, e / kPageSize);
+  lock_->UnlockRead(h);
+  return true;
+}
+
+std::vector<VmaInfo> AddressSpace::SnapshotVmas() {
+  std::vector<VmaInfo> out;
+  void* h = lock_->LockFullWrite();
+  for (Vma* v = mm_rb_.First(); v != nullptr; v = RbTree<Vma, VmaTraits>::Next(v)) {
+    out.push_back({v->Start(), v->End(), v->Prot()});
+  }
+  UnlockFullWrite(h);
+  return out;
+}
+
+bool AddressSpace::CheckInvariants() {
+  void* h = lock_->LockFullWrite();
+  bool ok = mm_rb_.ValidateStructure();
+  uint64_t prev_end = 0;
+  for (Vma* v = mm_rb_.First(); ok && v != nullptr; v = RbTree<Vma, VmaTraits>::Next(v)) {
+    const uint64_t vs = v->Start();
+    const uint64_t ve = v->End();
+    ok = vs < ve && vs % kPageSize == 0 && ve % kPageSize == 0 && vs >= prev_end;
+    prev_end = ve;
+  }
+  if (ok) {
+    // No page may be present outside a mapped VMA.
+    for (uint64_t page : pages_.AllPages()) {
+      const uint64_t a = page * kPageSize;
+      Vma* v = FindVma(a);
+      if (v == nullptr || v->Start() > a) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  UnlockFullWrite(h);
+  return ok;
+}
+
+}  // namespace srl::vm

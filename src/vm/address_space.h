@@ -1,0 +1,167 @@
+// Simulated process address space — the mm_struct analogue the kernel experiments run
+// against (§5).
+//
+// Structure mirrors the kernel: VMAs in an rb tree (mm_rb) keyed by start, a find_vma()
+// that returns the first VMA whose end exceeds the queried address, eager merging of
+// adjacent same-protection VMAs, splits on partial-range protection changes, and a page
+// table consulted by the fault path. The whole subsystem is guarded by a pluggable
+// VmLock; range refinement follows §5.2/§5.3:
+//
+//   * mmap / munmap: full-range write lock, always (structural).
+//   * page fault: read lock — full range, or just the faulting page when
+//     `refine_fault` is set (§5.3).
+//   * mprotect: full-range write lock, or the speculative protocol of Listing 4 when
+//     `refine_mprotect` is set: read-lock the argument range, find the VMA, snapshot the
+//     sequence number, re-lock [vma.start - page, vma.end + page) for write, validate,
+//     and fall back to the full path whenever mm_rb would change structurally.
+//
+// Every release of a full-range write acquisition bumps the sequence counter (just
+// before the release), which is what speculators validate against.
+//
+// Lifetime of VMA records: structural changes only happen under the full-range write
+// lock, which excludes every reader, so unlinked VMAs could be freed immediately — but
+// speculating threads legally dereference a stale vma pointer *between* their read and
+// refined-write acquisitions (Listing 4 line 15 reads vma->start with no lock held).
+// Freed-and-reused VMAs would still be readable garbage there; we therefore never free
+// VMAs to the system during the AddressSpace's life but recycle them through an internal
+// free list (mutations of their atomic fields are benign, and the sequence-number check
+// rejects any acquisition based on stale values).
+#ifndef SRL_VM_ADDRESS_SPACE_H_
+#define SRL_VM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/rbtree/rb_tree.h"
+#include "src/sync/seq_counter.h"
+#include "src/vm/page_table.h"
+#include "src/vm/vm_lock.h"
+#include "src/vm/vm_stats.h"
+#include "src/vm/vma.h"
+
+namespace srl::vm {
+
+// Named lock configurations of the kernel evaluation (Figures 5–8).
+enum class VmVariant {
+  kStock,         // mmap_sem semantics
+  kTreeFull,      // tree range lock, always full range
+  kTreeRefined,   // tree range lock + refined fault & speculative mprotect
+  kListFull,      // list range lock, always full range
+  kListRefined,   // list range lock + refined fault & speculative mprotect
+  kListPf,        // list lock, refined fault only (Figure 6 breakdown)
+  kListMprotect,  // list lock, speculative mprotect only (Figure 6 breakdown)
+};
+
+const char* VmVariantName(VmVariant v);
+
+class AddressSpace {
+ public:
+  static constexpr uint64_t kPageSize = 4096;
+  // Start of the mmap arena; keeps vma.start - kPageSize from underflowing.
+  static constexpr uint64_t kMmapBase = uint64_t{1} << 30;
+
+  explicit AddressSpace(VmVariant variant);
+  ~AddressSpace();
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // Maps `length` bytes (rounded up to pages) with the given protection. Returns the
+  // base address (never 0 on success; 0 on failure).
+  uint64_t Mmap(uint64_t length, uint32_t prot);
+
+  // Unmaps [addr, addr+length). Splits partially covered VMAs, exactly like the kernel.
+  // Returns false if the range touches no mapping.
+  bool Munmap(uint64_t addr, uint64_t length);
+
+  // Changes protection of [addr, addr+length). Returns false if the range is not fully
+  // covered by existing mappings (ENOMEM in the kernel).
+  bool Mprotect(uint64_t addr, uint64_t length, uint32_t prot);
+
+  // Simulated page-fault interrupt for an access at `addr`. Returns true if the access
+  // is legal (installing the page on first touch), false for SIGSEGV conditions.
+  bool PageFault(uint64_t addr, bool is_write);
+
+  // MADV_DONTNEED semantics: drops the pages of [addr, addr+length) so the next touch
+  // faults again. Used by the arena allocator's trim path (glibc frees trimmed pages).
+  // Runs under a read acquisition like the kernel's madvise.
+  bool MadviseDontNeed(uint64_t addr, uint64_t length);
+
+  // Extension of the paper's §5.2 closing remark (left as future work there): munmap
+  // "starts from calling find_vma, during which the range lock can be held in the read
+  // mode". When enabled, Munmap first probes [addr, addr+length) under a read
+  // acquisition; if nothing is mapped there the call completes without ever taking the
+  // full-range write lock. This is sound because boundary-moving (speculative)
+  // mprotects never change the union of mapped addresses, and every operation that does
+  // (mmap/munmap/structural mprotect) holds the full-range write lock, which our read
+  // acquisition excludes. Measured by bench/abl_unmap_spec. Off by default (off in the
+  // paper too). Only meaningful for refined variants; ignored for stock.
+  void SetUnmapLookupSpeculation(bool on) { speculate_unmap_lookup_ = on; }
+
+  const VmStats& Stats() const { return stats_; }
+  VmLock& Lock() { return *lock_; }
+  VmVariant Variant() const { return variant_; }
+
+  // --- Introspection (each takes the full write lock; safe any time) ---
+
+  std::vector<VmaInfo> SnapshotVmas();
+  // VMAs sorted, non-overlapping, page-aligned, tree structurally valid, and no page
+  // present outside a mapped VMA.
+  bool CheckInvariants();
+  std::size_t PresentPages() const { return pages_.Count(); }
+
+ private:
+  static uint64_t PageDown(uint64_t addr) { return addr & ~(kPageSize - 1); }
+  static uint64_t PageUp(uint64_t addr) {
+    return (addr + kPageSize - 1) & ~(kPageSize - 1);
+  }
+
+  Vma* AllocVma(uint64_t start, uint64_t end, uint32_t prot);
+  void FreeVma(Vma* vma);  // recycle; caller holds the full write lock
+
+  // First VMA with End() > addr, or null. Caller holds at least a read acquisition
+  // covering addr (or the full lock).
+  Vma* FindVma(uint64_t addr) const;
+
+  // Full-path mprotect body; caller holds the full write lock. Returns false on
+  // uncovered ranges.
+  bool ApplyMprotectLocked(uint64_t start, uint64_t end, uint32_t prot);
+
+  // Merges `vma` with adjacent equal-protection neighbours; caller holds the full
+  // write lock. Returns the surviving VMA.
+  Vma* MergeWithNeighbours(Vma* vma);
+
+  // Classification of a speculative mprotect against a single VMA (§5.2 / Figure 2).
+  enum class SpecCase {
+    kNoop,       // protection already matches
+    kWholeFlip,  // whole-VMA flip with no mergeable neighbour
+    kHeadMove,   // boundary move: head of vma joins the previous VMA
+    kTailMove,   // boundary move: tail of vma joins the next VMA
+    kStructural, // split / merge / multi-VMA — must take the full path
+  };
+  SpecCase ClassifySpeculative(Vma* vma, uint64_t start, uint64_t end, uint32_t prot);
+
+  // Releases a full-range write acquisition, bumping the sequence number first.
+  void UnlockFullWrite(void* h) {
+    seq_.Bump();
+    lock_->UnlockWrite(h);
+  }
+
+  VmVariant variant_;
+  bool refine_fault_;
+  bool refine_mprotect_;
+  bool speculate_unmap_lookup_ = false;
+  std::unique_ptr<VmLock> lock_;
+  SeqCounter seq_;
+  RbTree<Vma, VmaTraits> mm_rb_;
+  PageTable pages_;
+  VmStats stats_;
+  std::atomic<uint64_t> mmap_cursor_{kMmapBase};
+  std::vector<Vma*> vma_freelist_;  // guarded by the full write lock
+  std::vector<std::unique_ptr<Vma>> vma_storage_;  // owns every VMA ever allocated
+};
+
+}  // namespace srl::vm
+
+#endif  // SRL_VM_ADDRESS_SPACE_H_

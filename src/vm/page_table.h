@@ -1,0 +1,97 @@
+// Sharded present-page set — the simulation's stand-in for hardware page tables.
+//
+// The kernel's page-fault path, once it has validated the faulting address against the
+// VMA metadata (under mmap_sem / the range lock), installs a page-table entry under
+// finer-grained page-table locks. We reproduce that shape: a sharded hash set with
+// per-shard spin locks, accessed only after the VMA-level check passed.
+#ifndef SRL_VM_PAGE_TABLE_H_
+#define SRL_VM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sync/cacheline.h"
+#include "src/sync/spin_lock.h"
+
+namespace srl::vm {
+
+class PageTable {
+ public:
+  static constexpr std::size_t kShards = 64;
+
+  // Installs the page; returns true if it was not already present (a "major" fault).
+  bool Install(uint64_t page_index) {
+    Shard& s = ShardFor(page_index);
+    std::lock_guard<SpinLock> g(s.lock);
+    return s.pages.insert(page_index).second;
+  }
+
+  bool Present(uint64_t page_index) {
+    Shard& s = ShardFor(page_index);
+    std::lock_guard<SpinLock> g(s.lock);
+    return s.pages.count(page_index) != 0;
+  }
+
+  // Drops all pages in [first_page, last_page).
+  void RemoveRange(uint64_t first_page, uint64_t last_page) {
+    if (last_page - first_page <= 4096) {
+      // Narrow ranges (the common arena-trim case): erase page by page.
+      for (uint64_t p = first_page; p < last_page; ++p) {
+        Shard& s = ShardFor(p);
+        std::lock_guard<SpinLock> g(s.lock);
+        s.pages.erase(p);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < kShards; ++i) {
+      std::lock_guard<SpinLock> g(shards_[i].value.lock);
+      auto& pages = shards_[i].value.pages;
+      for (auto it = pages.begin(); it != pages.end();) {
+        if (*it >= first_page && *it < last_page) {
+          it = pages.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  std::size_t Count() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kShards; ++i) {
+      std::lock_guard<SpinLock> g(shards_[i].value.lock);
+      n += shards_[i].value.pages.size();
+    }
+    return n;
+  }
+
+  // All present page indices (tests / invariant checks; not a consistent snapshot under
+  // concurrent mutation).
+  std::vector<uint64_t> AllPages() const {
+    std::vector<uint64_t> out;
+    for (std::size_t i = 0; i < kShards; ++i) {
+      std::lock_guard<SpinLock> g(shards_[i].value.lock);
+      out.insert(out.end(), shards_[i].value.pages.begin(), shards_[i].value.pages.end());
+    }
+    return out;
+  }
+
+ private:
+  struct Shard {
+    mutable SpinLock lock;
+    std::unordered_set<uint64_t> pages;
+  };
+
+  Shard& ShardFor(uint64_t page_index) {
+    // Fibonacci hash spreads consecutive pages across shards.
+    return shards_[(page_index * 0x9e3779b97f4a7c15ull) >> 58].value;
+  }
+
+  mutable CacheAligned<Shard> shards_[kShards];
+};
+
+}  // namespace srl::vm
+
+#endif  // SRL_VM_PAGE_TABLE_H_

@@ -1,0 +1,83 @@
+#include "src/vm/vm_lock.h"
+
+namespace srl::vm {
+
+namespace {
+
+class StockVmLock final : public VmLock {
+ public:
+  const char* Name() const override { return "stock"; }
+
+ protected:
+  void* DoLockRead(const Range&) override {
+    sem_.lock_shared();
+    return this;
+  }
+  void* DoLockWrite(const Range&) override {
+    sem_.lock();
+    return this;
+  }
+  void DoUnlockRead(void*) override { sem_.unlock_shared(); }
+  void DoUnlockWrite(void*) override { sem_.unlock(); }
+
+ private:
+  RwSemaphore sem_;
+};
+
+class TreeVmLock final : public VmLock {
+ public:
+  const char* Name() const override { return "tree"; }
+
+  void SetSpinWaitStats(WaitStats* stats) override { lock_.SetSpinWaitStats(stats); }
+
+ protected:
+  void* DoLockRead(const Range& r) override { return lock_.AcquireRead(r); }
+  void* DoLockWrite(const Range& r) override { return lock_.AcquireWrite(r); }
+  void DoUnlockRead(void* h) override { lock_.Release(static_cast<TreeRangeLock::Handle>(h)); }
+  void DoUnlockWrite(void* h) override { lock_.Release(static_cast<TreeRangeLock::Handle>(h)); }
+
+ private:
+  TreeRangeLock lock_;
+};
+
+class ListVmLock final : public VmLock {
+ public:
+  const char* Name() const override { return "list"; }
+
+ protected:
+  void* DoLockRead(const Range& r) override { return lock_.LockRead(r); }
+  void* DoLockWrite(const Range& r) override { return lock_.LockWrite(r); }
+  void DoUnlockRead(void* h) override { lock_.Unlock(static_cast<ListRwRangeLock::Handle>(h)); }
+  void DoUnlockWrite(void* h) override { lock_.Unlock(static_cast<ListRwRangeLock::Handle>(h)); }
+
+ private:
+  ListRwRangeLock lock_;
+};
+
+}  // namespace
+
+std::unique_ptr<VmLock> MakeVmLock(VmLockKind kind) {
+  switch (kind) {
+    case VmLockKind::kStock:
+      return std::make_unique<StockVmLock>();
+    case VmLockKind::kTree:
+      return std::make_unique<TreeVmLock>();
+    case VmLockKind::kList:
+      return std::make_unique<ListVmLock>();
+  }
+  return nullptr;
+}
+
+const char* VmLockKindName(VmLockKind kind) {
+  switch (kind) {
+    case VmLockKind::kStock:
+      return "stock";
+    case VmLockKind::kTree:
+      return "tree";
+    case VmLockKind::kList:
+      return "list";
+  }
+  return "?";
+}
+
+}  // namespace srl::vm

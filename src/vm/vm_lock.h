@@ -1,0 +1,86 @@
+// The pluggable lock guarding the simulated VM subsystem — the seam where the kernel
+// experiments (§7.2) swap mmap_sem for range locks.
+//
+// Variants (names follow the paper):
+//   stock         RwSemaphore; ranges ignored, whole-address-space semantics
+//   tree          kernel tree-based range lock (Bueso's patch, ported)
+//   list          the paper's reader-writer list-based range lock
+//
+// Instrumentation: attach a WaitStats sink to measure acquisition wait time (read vs
+// write), reproducing the lock_stat measurements of Figure 7. TreeVmLock additionally
+// exposes the internal spin-lock wait sink for Figure 8.
+#ifndef SRL_VM_VM_LOCK_H_
+#define SRL_VM_VM_LOCK_H_
+
+#include <memory>
+
+#include "src/baselines/tree_range_lock.h"
+#include "src/core/list_rw_range_lock.h"
+#include "src/core/range.h"
+#include "src/harness/wait_stats.h"
+#include "src/sync/rw_semaphore.h"
+
+namespace srl::vm {
+
+enum class VmLockKind {
+  kStock,  // reader-writer semaphore (mmap_sem)
+  kTree,   // tree-based range lock
+  kList,   // list-based range lock
+};
+
+class VmLock {
+ public:
+  virtual ~VmLock() = default;
+
+  // Non-virtual interface: measures waits when a sink is attached.
+  void* LockRead(const Range& r) {
+    if (stats_ == nullptr) {
+      return DoLockRead(r);
+    }
+    const uint64_t t0 = WaitStats::NowNs();
+    void* h = DoLockRead(r);
+    stats_->RecordRead(WaitStats::NowNs() - t0);
+    return h;
+  }
+
+  void* LockWrite(const Range& r) {
+    if (stats_ == nullptr) {
+      return DoLockWrite(r);
+    }
+    const uint64_t t0 = WaitStats::NowNs();
+    void* h = DoLockWrite(r);
+    stats_->RecordWrite(WaitStats::NowNs() - t0);
+    return h;
+  }
+
+  void* LockFullWrite() { return LockWrite(Range::Full()); }
+
+  void UnlockRead(void* h) { DoUnlockRead(h); }
+  void UnlockWrite(void* h) { DoUnlockWrite(h); }
+
+  virtual const char* Name() const = 0;
+
+  // Attach/detach a wait-time sink. Set only while quiescent.
+  void SetWaitStats(WaitStats* stats) { stats_ = stats; }
+
+  // For Figure 8: the internal spin-lock sink (tree lock only; no-op otherwise).
+  virtual void SetSpinWaitStats(WaitStats*) {}
+
+ protected:
+  virtual void* DoLockRead(const Range& r) = 0;
+  virtual void* DoLockWrite(const Range& r) = 0;
+  virtual void DoUnlockRead(void* h) = 0;
+  virtual void DoUnlockWrite(void* h) = 0;
+
+ private:
+  WaitStats* stats_ = nullptr;
+};
+
+// Factory.
+std::unique_ptr<VmLock> MakeVmLock(VmLockKind kind);
+
+const char* VmLockKindName(VmLockKind kind);
+
+}  // namespace srl::vm
+
+#endif  // SRL_VM_VM_LOCK_H_

@@ -1,0 +1,38 @@
+// Operation and speculation counters for the simulated VM subsystem.
+//
+// spec_success / spec_fallback reproduce the paper's ftrace observation that "the
+// majority of the calls to mprotect (over 99%) succeed in the speculative path" for the
+// GLIBC-arena workload.
+#ifndef SRL_VM_VM_STATS_H_
+#define SRL_VM_VM_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace srl::vm {
+
+struct VmStats {
+  std::atomic<uint64_t> mmaps{0};
+  std::atomic<uint64_t> munmaps{0};
+  std::atomic<uint64_t> mprotects{0};
+  std::atomic<uint64_t> faults{0};
+  std::atomic<uint64_t> major_faults{0};   // page actually installed
+  std::atomic<uint64_t> fault_errors{0};   // unmapped address or protection violation
+  std::atomic<uint64_t> spec_success{0};   // mprotect completed on the speculative path
+  std::atomic<uint64_t> spec_retries{0};   // seq/boundary validation failed, retried
+  std::atomic<uint64_t> spec_fallback{0};  // structural change forced the full path
+  std::atomic<uint64_t> unmap_lookup_fastpath{0};  // munmap resolved under a read lock
+
+  double SpeculationSuccessRate() const {
+    const uint64_t total = mprotects.load(std::memory_order_relaxed);
+    if (total == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(spec_success.load(std::memory_order_relaxed)) /
+           static_cast<double>(total);
+  }
+};
+
+}  // namespace srl::vm
+
+#endif  // SRL_VM_VM_STATS_H_

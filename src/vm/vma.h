@@ -1,0 +1,59 @@
+// Virtual Memory Area records — the user-space analogue of the kernel's
+// vm_area_struct (§5.1).
+//
+// A Vma describes one contiguous region [start, end) of the simulated address space
+// with uniform protection. All Vmas of an AddressSpace live in an rb tree (mm_rb)
+// keyed by start address.
+//
+// start / end / prot are relaxed atomics: the refined lock variants legally let readers
+// (page faults, speculative lookups) observe a VMA whose boundary a metadata-only
+// mprotect is concurrently moving — outside the locked range, either the old or the new
+// boundary value yields a correct answer, but the reads must be tear-free.
+#ifndef SRL_VM_VMA_H_
+#define SRL_VM_VMA_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace srl::vm {
+
+// Protection bits (subset of the POSIX PROT_* space).
+inline constexpr uint32_t kProtNone = 0;
+inline constexpr uint32_t kProtRead = 1u << 0;
+inline constexpr uint32_t kProtWrite = 1u << 1;
+inline constexpr uint32_t kProtExec = 1u << 2;
+
+struct Vma {
+  Vma* rb_parent = nullptr;
+  Vma* rb_left = nullptr;
+  Vma* rb_right = nullptr;
+  bool rb_red = false;
+
+  std::atomic<uint64_t> start{0};
+  std::atomic<uint64_t> end{0};
+  std::atomic<uint32_t> prot{kProtNone};
+
+  uint64_t Start() const { return start.load(std::memory_order_relaxed); }
+  uint64_t End() const { return end.load(std::memory_order_relaxed); }
+  uint32_t Prot() const { return prot.load(std::memory_order_relaxed); }
+};
+
+// mm_rb ordering: by start address. Boundary moves preserve relative order (they only
+// shift a boundary between two adjacent VMAs), so in-place key updates are legal.
+struct VmaTraits {
+  static bool Less(const Vma& a, const Vma& b) { return a.Start() < b.Start(); }
+  static void Update(Vma*) {}
+};
+
+// Plain-value snapshot for tests and debugging.
+struct VmaInfo {
+  uint64_t start;
+  uint64_t end;
+  uint32_t prot;
+
+  friend bool operator==(const VmaInfo&, const VmaInfo&) = default;
+};
+
+}  // namespace srl::vm
+
+#endif  // SRL_VM_VMA_H_

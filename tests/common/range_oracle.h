@@ -1,0 +1,76 @@
+// Executable specification of range-lock exclusion, used by the lock test suites.
+//
+// The oracle models the protected resource as an array of per-address slots. A thread
+// that believes it holds [start,end) for write flips every covered slot from 0 to -1 on
+// entry (and back on exit); a reader increments the slot. Any observation of a competing
+// holder — a writer finding a non-zero slot, a reader finding a writer — is a violation
+// of the lock's exclusion guarantee and is latched for the test to assert on.
+#ifndef SRL_TESTS_COMMON_RANGE_ORACLE_H_
+#define SRL_TESTS_COMMON_RANGE_ORACLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/core/range.h"
+#include "src/sync/cacheline.h"
+
+namespace srl::testing {
+
+class RangeOracle {
+ public:
+  explicit RangeOracle(uint64_t universe) : universe_(universe) {
+    slots_ = std::make_unique<CacheAligned<std::atomic<int32_t>>[]>(universe);
+  }
+
+  void EnterWrite(const Range& r) {
+    for (uint64_t i = r.start; i < r.end && i < universe_; ++i) {
+      int32_t expected = 0;
+      if (!slots_[i].value.compare_exchange_strong(expected, -1,
+                                                   std::memory_order_acq_rel)) {
+        violated_.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void ExitWrite(const Range& r) {
+    for (uint64_t i = r.start; i < r.end && i < universe_; ++i) {
+      slots_[i].value.store(0, std::memory_order_release);
+    }
+  }
+
+  void EnterRead(const Range& r) {
+    for (uint64_t i = r.start; i < r.end && i < universe_; ++i) {
+      if (slots_[i].value.fetch_add(1, std::memory_order_acq_rel) < 0) {
+        violated_.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void ExitRead(const Range& r) {
+    for (uint64_t i = r.start; i < r.end && i < universe_; ++i) {
+      slots_[i].value.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  bool Violated() const { return violated_.load(std::memory_order_acquire); }
+
+  // All slots idle — every holder has exited.
+  bool Quiescent() const {
+    for (uint64_t i = 0; i < universe_; ++i) {
+      if (slots_[i].value.load(std::memory_order_acquire) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  uint64_t universe_;
+  std::unique_ptr<CacheAligned<std::atomic<int32_t>>[]> slots_;
+  std::atomic<bool> violated_{false};
+};
+
+}  // namespace srl::testing
+
+#endif  // SRL_TESTS_COMMON_RANGE_ORACLE_H_

@@ -1,0 +1,281 @@
+// Tests for epoch-based reclamation: domain, barrier, node pools, retire lists (§4.4).
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/lnode.h"
+#include "src/epoch/epoch_domain.h"
+#include "src/epoch/node_pool.h"
+#include "src/epoch/retire_list.h"
+
+namespace srl {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(EpochDomainTest, EnterExitTogglesParity) {
+  EpochDomain domain;
+  EpochDomain::ThreadRec* rec = domain.AcquireRec();
+  EXPECT_EQ(rec->epoch.load() & 1, 0u);
+  EpochDomain::Enter(rec);
+  EXPECT_EQ(rec->epoch.load() & 1, 1u);
+  EpochDomain::Exit(rec);
+  EXPECT_EQ(rec->epoch.load() & 1, 0u);
+  domain.ReleaseRec(rec);
+}
+
+TEST(EpochDomainTest, BarrierNoCriticalSectionsReturnsImmediately) {
+  EpochDomain domain;
+  EpochDomain::ThreadRec* rec = domain.AcquireRec();
+  domain.Barrier(rec);  // must not block
+  domain.ReleaseRec(rec);
+  SUCCEED();
+}
+
+TEST(EpochDomainTest, BarrierWaitsForCriticalSection) {
+  EpochDomain domain;
+  std::atomic<bool> in_cs{false};
+  std::atomic<bool> release_cs{false};
+  std::atomic<bool> barrier_done{false};
+
+  std::thread cs_thread([&] {
+    EpochDomain::ThreadRec* rec = domain.AcquireRec();
+    EpochDomain::Enter(rec);
+    in_cs.store(true);
+    while (!release_cs.load()) {
+      std::this_thread::yield();
+    }
+    EpochDomain::Exit(rec);
+    domain.ReleaseRec(rec);
+  });
+
+  while (!in_cs.load()) {
+    std::this_thread::yield();
+  }
+  std::thread barrier_thread([&] {
+    domain.Barrier();
+    barrier_done.store(true);
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(barrier_done.load()) << "barrier returned while a critical section was live";
+  release_cs.store(true);
+  barrier_thread.join();
+  cs_thread.join();
+  EXPECT_TRUE(barrier_done.load());
+}
+
+TEST(EpochDomainTest, BarrierIgnoresSelf) {
+  EpochDomain domain;
+  EpochDomain::ThreadRec* rec = domain.AcquireRec();
+  EpochDomain::Enter(rec);
+  domain.Barrier(rec);  // must not deadlock on our own critical section
+  EpochDomain::Exit(rec);
+  domain.ReleaseRec(rec);
+  SUCCEED();
+}
+
+TEST(EpochDomainTest, ThreadRecsAreDistinctAndReleased) {
+  EpochDomain domain;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> registered{0};
+  std::atomic<bool> go{false};
+  std::vector<EpochDomain::ThreadRec*> recs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      recs[t] = domain.AcquireRec();
+      registered.fetch_add(1);
+      while (!go.load()) {
+        std::this_thread::yield();
+      }
+      domain.ReleaseRec(recs[t]);
+    });
+  }
+  while (registered.load() < kThreads) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(domain.LiveThreads(), static_cast<std::size_t>(kThreads));
+  go.store(true);
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(domain.LiveThreads(), 0u);
+  // All recs distinct.
+  for (int i = 0; i < kThreads; ++i) {
+    for (int j = i + 1; j < kThreads; ++j) {
+      EXPECT_NE(recs[i], recs[j]);
+    }
+  }
+}
+
+TEST(EpochDomainTest, CurrentThreadRecIsStablePerThread) {
+  EpochDomain::ThreadRec* a = CurrentThreadRec(EpochDomain::Global());
+  EpochDomain::ThreadRec* b = CurrentThreadRec(EpochDomain::Global());
+  EXPECT_EQ(a, b);
+  EpochDomain::ThreadRec* other = nullptr;
+  std::thread th([&] { other = CurrentThreadRec(EpochDomain::Global()); });
+  th.join();
+  EXPECT_NE(a, other);
+}
+
+TEST(NodePoolTest, AllocatesPreallocatedNodes) {
+  NodePool<LNode> pool;
+  EXPECT_EQ(pool.ActiveSize(), NodePool<LNode>::kTargetSize);
+  LNode* n = pool.Alloc();
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(pool.ActiveSize(), NodePool<LNode>::kTargetSize - 1);
+  pool.Recycle(n);
+  EXPECT_EQ(pool.ActiveSize(), NodePool<LNode>::kTargetSize);
+}
+
+TEST(NodePoolTest, RetiredNodesBecomeAllocatableAfterRefill) {
+  NodePool<LNode> pool;
+  std::vector<LNode*> nodes;
+  // Drain the whole active pool, retiring everything.
+  for (std::size_t i = 0; i < NodePool<LNode>::kTargetSize; ++i) {
+    nodes.push_back(pool.Alloc());
+  }
+  EXPECT_EQ(pool.ActiveSize(), 0u);
+  for (LNode* n : nodes) {
+    pool.Retire(n);
+  }
+  EXPECT_EQ(pool.ReclaimedSize(), NodePool<LNode>::kTargetSize);
+  // Next Alloc triggers the barrier + pool swap; the retired nodes come back.
+  LNode* n = pool.Alloc();
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(pool.ReclaimedSize(), 0u);
+  EXPECT_EQ(pool.ActiveSize(), NodePool<LNode>::kTargetSize - 1);
+  pool.Recycle(n);
+}
+
+TEST(NodePoolTest, RefillReplenishesWhenBelowHalfTarget) {
+  NodePool<LNode> pool;
+  // Drain without retiring: refill finds an empty reclaimed pool and must allocate new
+  // nodes up to the target (the paper's "replenish to N if below N/2" rule).
+  std::vector<LNode*> held;
+  for (std::size_t i = 0; i < NodePool<LNode>::kTargetSize; ++i) {
+    held.push_back(pool.Alloc());
+  }
+  LNode* extra = pool.Alloc();  // forces refill from empty reclaimed pool
+  ASSERT_NE(extra, nullptr);
+  EXPECT_GE(pool.ActiveSize(), NodePool<LNode>::kTargetSize - 1);
+  pool.Recycle(extra);
+  for (LNode* n : held) {
+    pool.Recycle(n);
+  }
+}
+
+TEST(NodePoolTest, RefillTrimsOversizedPool) {
+  NodePool<LNode> pool;
+  // Retire far more nodes than the target: after the swap the pool must be trimmed back
+  // to the target (the paper's "trim to N if above 2N" rule).
+  constexpr std::size_t kExtra = NodePool<LNode>::kTargetSize * 3;
+  for (std::size_t i = 0; i < kExtra; ++i) {
+    pool.Retire(new LNode());
+  }
+  // Drain active to force the swap.
+  std::vector<LNode*> held;
+  for (std::size_t i = 0; i < NodePool<LNode>::kTargetSize; ++i) {
+    held.push_back(pool.Alloc());
+  }
+  LNode* n = pool.Alloc();  // triggers refill: swap to the 3N reclaimed pool, trim to N
+  ASSERT_NE(n, nullptr);
+  EXPECT_LE(pool.ActiveSize(), NodePool<LNode>::kTargetSize);
+  pool.Recycle(n);
+  for (LNode* h : held) {
+    pool.Recycle(h);
+  }
+}
+
+struct CountedObj {
+  static std::atomic<int> live;
+  CountedObj() { live.fetch_add(1); }
+  ~CountedObj() { live.fetch_sub(1); }
+};
+std::atomic<int> CountedObj::live{0};
+
+TEST(RetireListTest, FlushFreesEverything) {
+  {
+    RetireList list;
+    for (int i = 0; i < 10; ++i) {
+      list.Retire(new CountedObj());
+    }
+    EXPECT_EQ(CountedObj::live.load(), 10);
+    EXPECT_EQ(list.PendingCount(), 10u);
+    list.Flush();
+    EXPECT_EQ(CountedObj::live.load(), 0);
+    EXPECT_EQ(list.PendingCount(), 0u);
+  }
+}
+
+TEST(RetireListTest, DestructorFlushes) {
+  {
+    RetireList list;
+    list.Retire(new CountedObj());
+    EXPECT_EQ(CountedObj::live.load(), 1);
+  }
+  EXPECT_EQ(CountedObj::live.load(), 0);
+}
+
+TEST(RetireListTest, MaybeFlushHonoursThreshold) {
+  RetireList list;
+  for (std::size_t i = 0; i < RetireList::kFlushThreshold - 1; ++i) {
+    list.Retire(new CountedObj());
+  }
+  list.MaybeFlush();
+  EXPECT_EQ(list.PendingCount(), RetireList::kFlushThreshold - 1) << "flushed too early";
+  list.Retire(new CountedObj());
+  list.MaybeFlush();
+  EXPECT_EQ(list.PendingCount(), 0u);
+  EXPECT_EQ(CountedObj::live.load(), 0);
+}
+
+// Cross-thread grace period: a reader in a critical section must keep retired memory
+// alive until it exits.
+TEST(RetireListTest, GracePeriodProtectsReaders) {
+  struct Payload {
+    std::atomic<uint64_t> value{0xabcdabcdabcdabcdull};
+    ~Payload() { value.store(0xdeaddeaddeaddeadull); }
+  };
+  auto* shared = new Payload();
+  std::atomic<Payload*> slot{shared};
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> reader_ok{true};
+  std::atomic<bool> retired{false};
+
+  std::thread reader([&] {
+    EpochDomain::ThreadRec* rec = CurrentThreadRec(EpochDomain::Global());
+    EpochDomain::Enter(rec);
+    Payload* p = slot.load();
+    reader_in.store(true);
+    // Hold the reference across the writer's retire; the value must stay intact.
+    while (!retired.load()) {
+      std::this_thread::yield();
+    }
+    for (int i = 0; i < 1000; ++i) {
+      if (p->value.load() != 0xabcdabcdabcdabcdull) {
+        reader_ok.store(false);
+        break;
+      }
+    }
+    EpochDomain::Exit(rec);
+  });
+
+  while (!reader_in.load()) {
+    std::this_thread::yield();
+  }
+  slot.store(nullptr);  // unlink
+  RetireList list;
+  list.Retire(shared);
+  retired.store(true);
+  list.Flush();  // barrier: must wait for the reader's critical section
+  reader.join();
+  EXPECT_TRUE(reader_ok.load());
+  EXPECT_EQ(CountedObj::live.load(), 0);
+}
+
+}  // namespace
+}  // namespace srl

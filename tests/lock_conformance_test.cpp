@@ -1,0 +1,185 @@
+// Conformance suite: every range-lock implementation in the repository must satisfy the
+// same behavioural contract. Run as typed tests over the adapters of
+// src/harness/lock_adapters.h, so any new lock added to the repo gets the full battery
+// by appending one line to the type list.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/lock_adapters.h"
+#include "src/harness/prng.h"
+#include "tests/common/range_oracle.h"
+
+namespace srl {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename Adapter>
+class LockConformanceTest : public ::testing::Test {
+ protected:
+  Adapter adapter_;
+};
+
+using AllLocks =
+    ::testing::Types<ListExAdapter, ListExFastPathAdapter, ListRwAdapter,
+                     ListRwFastPathAdapter, FairListExAdapter, FairListRwAdapter,
+                     TreeExAdapter, TreeRwAdapter, SegmentRwAdapter, RwSemAdapter>;
+
+class LockNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    std::string name = T::Name();
+    for (char& c : name) {
+      if (c == '-') {
+        c = '_';
+      }
+    }
+    return name;
+  }
+};
+
+TYPED_TEST_SUITE(LockConformanceTest, AllLocks, LockNames);
+
+TYPED_TEST(LockConformanceTest, WriteAcquireRelease) {
+  auto h = this->adapter_.AcquireWrite({0, 100});
+  this->adapter_.Release(h);
+  auto h2 = this->adapter_.AcquireWrite({0, 100});  // reacquirable
+  this->adapter_.Release(h2);
+}
+
+TYPED_TEST(LockConformanceTest, ReadAcquireRelease) {
+  auto h = this->adapter_.AcquireRead({0, 100});
+  this->adapter_.Release(h);
+}
+
+TYPED_TEST(LockConformanceTest, OverlappingWritersExclude) {
+  constexpr uint64_t kUniverse = 64;
+  testing::RangeOracle oracle(kUniverse);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(0xabc + t);
+      for (int i = 0; i < 1500; ++i) {
+        uint64_t a = rng.NextBelow(kUniverse);
+        uint64_t b = rng.NextBelow(kUniverse);
+        if (a > b) {
+          std::swap(a, b);
+        }
+        const Range r{a, b + 1};
+        auto h = this->adapter_.AcquireWrite(r);
+        oracle.EnterWrite(r);
+        oracle.ExitWrite(r);
+        this->adapter_.Release(h);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(oracle.Violated());
+  EXPECT_TRUE(oracle.Quiescent());
+}
+
+TYPED_TEST(LockConformanceTest, ReadersAndWritersExclude) {
+  constexpr uint64_t kUniverse = 64;
+  testing::RangeOracle oracle(kUniverse);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(0x777 + t);
+      for (int i = 0; i < 1500; ++i) {
+        uint64_t a = rng.NextBelow(kUniverse);
+        uint64_t b = rng.NextBelow(kUniverse);
+        if (a > b) {
+          std::swap(a, b);
+        }
+        const Range r{a, b + 1};
+        if (rng.NextChance(0.3)) {
+          auto h = this->adapter_.AcquireWrite(r);
+          oracle.EnterWrite(r);
+          oracle.ExitWrite(r);
+          this->adapter_.Release(h);
+        } else {
+          auto h = this->adapter_.AcquireRead(r);
+          oracle.EnterRead(r);
+          oracle.ExitRead(r);
+          this->adapter_.Release(h);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(oracle.Violated());
+  EXPECT_TRUE(oracle.Quiescent());
+}
+
+TYPED_TEST(LockConformanceTest, OverlappingReadersShareIfSupported) {
+  if (!TypeParam::kSharedReaders) {
+    GTEST_SKIP() << "exclusive-only lock";
+  }
+  auto r1 = this->adapter_.AcquireRead({0, 50});
+  std::atomic<bool> in{false};
+  std::thread t([&] {
+    auto r2 = this->adapter_.AcquireRead({25, 75});
+    in.store(true);
+    this->adapter_.Release(r2);
+  });
+  t.join();  // completes while r1 is held
+  EXPECT_TRUE(in.load());
+  this->adapter_.Release(r1);
+}
+
+TYPED_TEST(LockConformanceTest, WriterBlockedUntilOverlapReleased) {
+  auto h = this->adapter_.AcquireWrite({10, 20});
+  std::atomic<bool> in{false};
+  std::thread t([&] {
+    auto h2 = this->adapter_.AcquireWrite({15, 25});
+    in.store(true);
+    this->adapter_.Release(h2);
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(in.load());
+  this->adapter_.Release(h);
+  t.join();
+  EXPECT_TRUE(in.load());
+}
+
+TYPED_TEST(LockConformanceTest, FullRangeIsExclusiveAgainstAll) {
+  auto h = this->adapter_.AcquireWrite(Range::Full());
+  std::atomic<bool> in{false};
+  std::thread t([&] {
+    auto h2 = this->adapter_.AcquireWrite({5, 6});
+    in.store(true);
+    this->adapter_.Release(h2);
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(in.load());
+  this->adapter_.Release(h);
+  t.join();
+  EXPECT_TRUE(in.load());
+}
+
+TYPED_TEST(LockConformanceTest, ManySequentialAcquisitions) {
+  Xoshiro256 rng(12345);
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t a = rng.NextBelow(64);
+    const Range r{a, a + 1 + rng.NextBelow(16)};
+    if (i % 2 == 0) {
+      auto h = this->adapter_.AcquireWrite(r);
+      this->adapter_.Release(h);
+    } else {
+      auto h = this->adapter_.AcquireRead(r);
+      this->adapter_.Release(h);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srl

@@ -1,0 +1,51 @@
+// Tests for the Range value type.
+#include <gtest/gtest.h>
+
+#include "src/core/range.h"
+
+namespace srl {
+namespace {
+
+TEST(RangeTest, Validity) {
+  EXPECT_TRUE((Range{0, 1}.Valid()));
+  EXPECT_TRUE(Range::Full().Valid());
+  EXPECT_FALSE((Range{5, 5}.Valid()));
+  EXPECT_FALSE((Range{6, 5}.Valid()));
+}
+
+TEST(RangeTest, OverlapIsSymmetricAndHalfOpen) {
+  const Range a{0, 10};
+  const Range b{10, 20};
+  const Range c{9, 11};
+  EXPECT_FALSE(a.Overlaps(b));  // adjacent: end is exclusive
+  EXPECT_FALSE(b.Overlaps(a));
+  EXPECT_TRUE(a.Overlaps(c));
+  EXPECT_TRUE(c.Overlaps(a));
+  EXPECT_TRUE(b.Overlaps(c));
+  EXPECT_TRUE(c.Overlaps(b));
+}
+
+TEST(RangeTest, FullRangeOverlapsEverything) {
+  const Range full = Range::Full();
+  EXPECT_TRUE(full.Overlaps({0, 1}));
+  EXPECT_TRUE(full.Overlaps({UINT64_MAX - 2, UINT64_MAX - 1}));
+  EXPECT_TRUE(full.Overlaps(full));
+}
+
+TEST(RangeTest, Contains) {
+  const Range r{10, 20};
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(19));
+  EXPECT_FALSE(r.Contains(20));
+  EXPECT_FALSE(r.Contains(9));
+  EXPECT_TRUE(r.Contains(Range{10, 20}));
+  EXPECT_TRUE(r.Contains(Range{12, 15}));
+  EXPECT_FALSE(r.Contains(Range{12, 21}));
+}
+
+TEST(RangeTest, Length) {
+  EXPECT_EQ((Range{10, 25}.Length()), 15u);
+}
+
+}  // namespace
+}  // namespace srl

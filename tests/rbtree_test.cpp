@@ -1,0 +1,265 @@
+// Property tests for the red-black tree and interval tree substrates: randomized
+// operation sequences checked against std:: oracles, with structural invariants
+// (coloring, black height, parent links, augmented max_end) revalidated throughout.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/prng.h"
+#include "src/rbtree/interval_tree.h"
+#include "src/rbtree/rb_tree.h"
+
+namespace srl {
+namespace {
+
+struct IntNode {
+  IntNode* rb_parent = nullptr;
+  IntNode* rb_left = nullptr;
+  IntNode* rb_right = nullptr;
+  bool rb_red = false;
+  int key = 0;
+};
+
+struct IntTraits {
+  static bool Less(const IntNode& a, const IntNode& b) { return a.key < b.key; }
+  static void Update(IntNode*) {}
+};
+
+using IntTree = RbTree<IntNode, IntTraits>;
+
+std::vector<int> InOrderKeys(const IntTree& tree) {
+  std::vector<int> keys;
+  for (IntNode* n = tree.First(); n != nullptr; n = IntTree::Next(n)) {
+    keys.push_back(n->key);
+  }
+  return keys;
+}
+
+TEST(RbTreeTest, EmptyTree) {
+  IntTree tree;
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.First(), nullptr);
+  EXPECT_TRUE(tree.ValidateStructure());
+}
+
+TEST(RbTreeTest, InsertAscending) {
+  IntTree tree;
+  std::vector<IntNode> nodes(64);
+  for (int i = 0; i < 64; ++i) {
+    nodes[i].key = i;
+    tree.Insert(&nodes[i]);
+    ASSERT_TRUE(tree.ValidateStructure()) << "after inserting " << i;
+  }
+  std::vector<int> expect(64);
+  for (int i = 0; i < 64; ++i) {
+    expect[i] = i;
+  }
+  EXPECT_EQ(InOrderKeys(tree), expect);
+}
+
+TEST(RbTreeTest, InsertDescending) {
+  IntTree tree;
+  std::vector<IntNode> nodes(64);
+  for (int i = 0; i < 64; ++i) {
+    nodes[i].key = 63 - i;
+    tree.Insert(&nodes[i]);
+    ASSERT_TRUE(tree.ValidateStructure());
+  }
+  EXPECT_EQ(InOrderKeys(tree).front(), 0);
+  EXPECT_EQ(InOrderKeys(tree).back(), 63);
+}
+
+TEST(RbTreeTest, DuplicateKeysAllowed) {
+  IntTree tree;
+  std::vector<IntNode> nodes(10);
+  for (auto& n : nodes) {
+    n.key = 7;
+    tree.Insert(&n);
+  }
+  EXPECT_EQ(tree.Size(), 10u);
+  EXPECT_TRUE(tree.ValidateStructure());
+  for (auto& n : nodes) {
+    tree.Erase(&n);
+    ASSERT_TRUE(tree.ValidateStructure());
+  }
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(RbTreeTest, NextPrevWalk) {
+  IntTree tree;
+  std::vector<IntNode> nodes(100);
+  for (int i = 0; i < 100; ++i) {
+    nodes[i].key = i * 3;
+    tree.Insert(&nodes[i]);
+  }
+  // Forward walk.
+  int expect = 0;
+  for (IntNode* n = tree.First(); n != nullptr; n = IntTree::Next(n)) {
+    EXPECT_EQ(n->key, expect);
+    expect += 3;
+  }
+  // Backward walk.
+  expect = 99 * 3;
+  for (IntNode* n = tree.Last(); n != nullptr; n = IntTree::Prev(n)) {
+    EXPECT_EQ(n->key, expect);
+    expect -= 3;
+  }
+}
+
+// Randomized insert/erase cross-checked against std::multiset semantics.
+class RbTreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RbTreeRandomTest, MatchesOracle) {
+  IntTree tree;
+  Xoshiro256 rng(GetParam());
+  std::multiset<int> oracle;
+  std::vector<IntNode*> live;
+
+  for (int step = 0; step < 3000; ++step) {
+    const bool do_insert = live.empty() || rng.NextChance(0.6);
+    if (do_insert) {
+      auto* n = new IntNode();
+      n->key = static_cast<int>(rng.NextBelow(500));
+      tree.Insert(n);
+      oracle.insert(n->key);
+      live.push_back(n);
+    } else {
+      const std::size_t idx = rng.NextBelow(live.size());
+      IntNode* n = live[idx];
+      tree.Erase(n);
+      oracle.erase(oracle.find(n->key));
+      live[idx] = live.back();
+      live.pop_back();
+      delete n;
+    }
+    if (step % 64 == 0) {
+      ASSERT_TRUE(tree.ValidateStructure()) << "step " << step;
+    }
+    ASSERT_EQ(tree.Size(), oracle.size());
+  }
+  ASSERT_TRUE(tree.ValidateStructure());
+  const std::vector<int> keys = InOrderKeys(tree);
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), oracle.begin(), oracle.end()));
+  for (IntNode* n : live) {
+    delete n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeRandomTest,
+                         ::testing::Values(1u, 42u, 0xdeadbeefu, 7777u));
+
+// ---------------------------------------------------------------------------
+// Interval tree.
+// ---------------------------------------------------------------------------
+
+struct Interval {
+  Interval* rb_parent = nullptr;
+  Interval* rb_left = nullptr;
+  Interval* rb_right = nullptr;
+  bool rb_red = false;
+  uint64_t start = 0;
+  uint64_t end = 0;
+  uint64_t max_end = 0;
+  int id = 0;
+};
+
+TEST(IntervalTreeTest, EmptyOverlapQuery) {
+  IntervalTree<Interval> tree;
+  EXPECT_EQ(tree.CountOverlaps(0, 100), 0u);
+  EXPECT_TRUE(tree.ValidateStructure());
+}
+
+TEST(IntervalTreeTest, BasicOverlaps) {
+  IntervalTree<Interval> tree;
+  Interval a{.start = 0, .end = 10};
+  Interval b{.start = 10, .end = 20};
+  Interval c{.start = 5, .end = 15};
+  tree.Insert(&a);
+  tree.Insert(&b);
+  tree.Insert(&c);
+  EXPECT_TRUE(tree.ValidateStructure());
+  EXPECT_EQ(tree.CountOverlaps(0, 5), 1u);     // a only
+  EXPECT_EQ(tree.CountOverlaps(9, 10), 2u);    // a and c
+  EXPECT_EQ(tree.CountOverlaps(10, 11), 2u);   // b and c (a is half-open)
+  EXPECT_EQ(tree.CountOverlaps(0, 20), 3u);
+  EXPECT_EQ(tree.CountOverlaps(20, 30), 0u);   // b's end is exclusive
+  tree.Erase(&c);
+  EXPECT_EQ(tree.CountOverlaps(9, 11), 2u);    // a and b
+  tree.Erase(&a);
+  tree.Erase(&b);
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(IntervalTreeTest, OverlapVisitOrderIsByStart) {
+  IntervalTree<Interval> tree;
+  std::vector<Interval> nodes(20);
+  for (int i = 0; i < 20; ++i) {
+    nodes[i].start = static_cast<uint64_t>((19 - i) * 10);
+    nodes[i].end = nodes[i].start + 15;  // overlaps neighbour
+    tree.Insert(&nodes[i]);
+  }
+  uint64_t prev = 0;
+  bool first = true;
+  tree.ForEachOverlap(0, 1000, [&](Interval* n) {
+    if (!first) {
+      EXPECT_GE(n->start, prev);
+    }
+    prev = n->start;
+    first = false;
+  });
+}
+
+class IntervalTreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalTreeRandomTest, OverlapQueriesMatchBruteForce) {
+  IntervalTree<Interval> tree;
+  Xoshiro256 rng(GetParam());
+  std::vector<Interval*> live;
+  constexpr uint64_t kUniverse = 1000;
+
+  for (int step = 0; step < 2000; ++step) {
+    const double roll = rng.NextDouble();
+    if (live.empty() || roll < 0.45) {
+      auto* n = new Interval();
+      n->start = rng.NextBelow(kUniverse);
+      n->end = n->start + 1 + rng.NextBelow(50);
+      n->id = step;
+      tree.Insert(n);
+      live.push_back(n);
+    } else if (roll < 0.75) {
+      const std::size_t idx = rng.NextBelow(live.size());
+      tree.Erase(live[idx]);
+      delete live[idx];
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      // Query: compare against brute force.
+      uint64_t qs = rng.NextBelow(kUniverse);
+      uint64_t qe = qs + 1 + rng.NextBelow(80);
+      std::size_t brute = 0;
+      for (const Interval* n : live) {
+        if (n->start < qe && qs < n->end) {
+          ++brute;
+        }
+      }
+      ASSERT_EQ(tree.CountOverlaps(qs, qe), brute) << "query [" << qs << "," << qe << ")";
+    }
+    if (step % 128 == 0) {
+      ASSERT_TRUE(tree.ValidateStructure()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.ValidateStructure());
+  for (Interval* n : live) {
+    delete n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalTreeRandomTest,
+                         ::testing::Values(3u, 99u, 0xfeedfaceu));
+
+}  // namespace
+}  // namespace srl

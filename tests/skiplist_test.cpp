@@ -1,0 +1,211 @@
+// Tests for both skip lists: the Herlihy optimistic baseline and the range-lock-based
+// design of §6 (over the list lock and the tree lock). Typed suite: all variants must
+// satisfy the same set semantics.
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/prng.h"
+#include "src/skiplist/optimistic_skiplist.h"
+#include "src/skiplist/range_lock_skiplist.h"
+
+namespace srl {
+namespace {
+
+template <typename ListT>
+class SkipListTest : public ::testing::Test {
+ protected:
+  ListT list_;
+};
+
+using SkipLists = ::testing::Types<OptimisticSkipList, RangeLockSkipList<ListLockPolicy>,
+                                   RangeLockSkipList<TreeLockPolicy>>;
+
+class SkipListNames {
+ public:
+  template <typename T>
+  static std::string GetName(int i) {
+    switch (i) {
+      case 0:
+        return "orig";
+      case 1:
+        return "range_list";
+      default:
+        return "range_lustre";
+    }
+  }
+};
+
+TYPED_TEST_SUITE(SkipListTest, SkipLists, SkipListNames);
+
+TYPED_TEST(SkipListTest, InsertContainsRemove) {
+  EXPECT_FALSE(this->list_.Contains(5));
+  EXPECT_TRUE(this->list_.Insert(5));
+  EXPECT_TRUE(this->list_.Contains(5));
+  EXPECT_FALSE(this->list_.Insert(5)) << "duplicate insert must fail";
+  EXPECT_TRUE(this->list_.Remove(5));
+  EXPECT_FALSE(this->list_.Contains(5));
+  EXPECT_FALSE(this->list_.Remove(5)) << "removing absent key must fail";
+}
+
+TYPED_TEST(SkipListTest, ManyKeysSequential) {
+  constexpr uint64_t kKeys = 2000;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    ASSERT_TRUE(this->list_.Insert(k * 3));
+  }
+  EXPECT_EQ(this->list_.DebugCount(), kKeys);
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    EXPECT_TRUE(this->list_.Contains(k * 3));
+    EXPECT_FALSE(this->list_.Contains(k * 3 - 1));
+  }
+  for (uint64_t k = 1; k <= kKeys; k += 2) {
+    ASSERT_TRUE(this->list_.Remove(k * 3));
+  }
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    EXPECT_EQ(this->list_.Contains(k * 3), k % 2 == 0);
+  }
+  TypeParam::QuiesceLocal();
+}
+
+TYPED_TEST(SkipListTest, RandomOpsMatchStdSet) {
+  Xoshiro256 rng(0x5151);
+  std::set<uint64_t> oracle;
+  for (int step = 0; step < 8000; ++step) {
+    const uint64_t key = 1 + rng.NextBelow(500);
+    const double roll = rng.NextDouble();
+    if (roll < 0.45) {
+      ASSERT_EQ(this->list_.Insert(key), oracle.insert(key).second) << "key " << key;
+    } else if (roll < 0.8) {
+      ASSERT_EQ(this->list_.Remove(key), oracle.erase(key) == 1) << "key " << key;
+    } else {
+      ASSERT_EQ(this->list_.Contains(key), oracle.count(key) == 1) << "key " << key;
+    }
+  }
+  EXPECT_EQ(this->list_.DebugCount(), oracle.size());
+  TypeParam::QuiesceLocal();
+}
+
+// Concurrent correctness via per-key slot counters: each thread owns a disjoint key
+// stripe, so its sequential view must hold; shared Contains traffic runs throughout.
+TYPED_TEST(SkipListTest, ConcurrentDisjointStripes) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 800;
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const uint64_t base = 1 + static_cast<uint64_t>(t) * kPerThread;
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        if (!this->list_.Insert(base + i)) {
+          ok.store(false);
+        }
+      }
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        if (!this->list_.Contains(base + i)) {
+          ok.store(false);
+        }
+      }
+      for (uint64_t i = 0; i < kPerThread; i += 2) {
+        if (!this->list_.Remove(base + i)) {
+          ok.store(false);
+        }
+      }
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        if (this->list_.Contains(base + i) != (i % 2 == 1)) {
+          ok.store(false);
+        }
+      }
+      TypeParam::QuiesceLocal();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(this->list_.DebugCount(), kThreads * kPerThread / 2);
+}
+
+// Contended single-key hammer: exactly one insert/remove can win each transition, so
+// the global count of successful inserts minus removes must equal final membership.
+TYPED_TEST(SkipListTest, ContendedSingleKeyLinearizable) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::atomic<int64_t> net{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(0x99 + t);
+      for (int i = 0; i < kIters; ++i) {
+        if (rng.NextChance(0.5)) {
+          if (this->list_.Insert(42)) {
+            net.fetch_add(1);
+          }
+        } else {
+          if (this->list_.Remove(42)) {
+            net.fetch_sub(1);
+          }
+        }
+      }
+      TypeParam::QuiesceLocal();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const int64_t expect = this->list_.Contains(42) ? 1 : 0;
+  EXPECT_EQ(net.load(), expect);
+}
+
+// Synchrobench-like mixed workload with verification by net-count accounting.
+TYPED_TEST(SkipListTest, MixedWorkloadStress) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 4000;
+  constexpr uint64_t kRange = 2048;
+  std::atomic<int64_t> net{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(0xabcd + t);
+      for (int i = 0; i < kIters; ++i) {
+        const uint64_t key = 1 + rng.NextBelow(kRange);
+        const double roll = rng.NextDouble();
+        if (roll < 0.1) {
+          if (this->list_.Insert(key)) {
+            net.fetch_add(1);
+          }
+        } else if (roll < 0.2) {
+          if (this->list_.Remove(key)) {
+            net.fetch_sub(1);
+          }
+        } else {
+          this->list_.Contains(key);
+        }
+        if (i % 512 == 0) {
+          TypeParam::QuiesceLocal();
+        }
+      }
+      TypeParam::QuiesceLocal();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(static_cast<int64_t>(this->list_.DebugCount()), net.load());
+}
+
+TEST(SkipListFootprintTest, RangeLockNodesAreNoLarger) {
+  // §6: dropping the per-node lock shrinks every node. With this repo's 1-byte TTAS
+  // spin lock the saving is absorbed by struct padding (hence <=, not <); with the
+  // pthread_mutex the original Synchrobench implementation uses (40 bytes) the gap is
+  // 40+ bytes per node.
+  for (int level = 0; level < OptimisticSkipList::kMaxLevel; ++level) {
+    EXPECT_LE(RangeLockSkipList<ListLockPolicy>::NodeBytes(level),
+              OptimisticSkipList::NodeBytes(level));
+  }
+}
+
+}  // namespace
+}  // namespace srl

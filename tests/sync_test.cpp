@@ -1,0 +1,267 @@
+// Tests for the sync substrate: spin locks, reader-writer locks, semaphore, counters.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sync/backoff.h"
+#include "src/sync/fair_rw_lock.h"
+#include "src/sync/rw_semaphore.h"
+#include "src/sync/rw_spin_lock.h"
+#include "src/sync/seq_counter.h"
+#include "src/sync/spin_lock.h"
+#include "src/sync/ticket_lock.h"
+
+namespace srl {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr int kThreads = 4;
+constexpr int kItersPerThread = 20000;
+
+// Drives any Lockable through a racy counter increment; a correct mutex makes the
+// non-atomic counter end up exact.
+template <typename LockT>
+void MutexCounterTest(LockT& lock) {
+  int64_t counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        lock.lock();
+        counter += 1;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, int64_t{kThreads} * kItersPerThread);
+}
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock lock;
+  MutexCounterTest(lock);
+}
+
+TEST(SpinLockTest, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(TicketLockTest, MutualExclusion) {
+  TicketLock lock;
+  MutexCounterTest(lock);
+}
+
+TEST(TicketLockTest, TryLockFailsWhenHeld) {
+  TicketLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+// Readers must be able to hold the lock simultaneously.
+template <typename RwLockT>
+void ReadersShareTest(RwLockT& lock) {
+  std::atomic<int> readers_inside{0};
+  std::atomic<bool> saw_two{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      lock.lock_shared();
+      readers_inside.fetch_add(1);
+      // Wait (bounded) for the other reader to arrive while we hold the lock.
+      for (int i = 0; i < 10000000; ++i) {
+        if (readers_inside.load() == 2) {
+          saw_two.store(true);
+          break;
+        }
+        if (saw_two.load()) {
+          break;
+        }
+        std::this_thread::yield();
+      }
+      readers_inside.fetch_sub(1);
+      lock.unlock_shared();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_TRUE(saw_two.load());
+}
+
+// Writer sections must be exclusive against both readers and writers.
+template <typename RwLockT>
+void RwCounterTest(RwLockT& lock) {
+  int64_t counter = 0;
+  std::atomic<bool> reader_saw_torn{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      if (t % 2 == 0) {
+        for (int i = 0; i < kItersPerThread; ++i) {
+          lock.lock();
+          counter += 1;
+          lock.unlock();
+        }
+      } else {
+        for (int i = 0; i < kItersPerThread; ++i) {
+          lock.lock_shared();
+          // With the lock held for read, two successive reads must agree.
+          const int64_t a = counter;
+          const int64_t b = counter;
+          if (a != b) {
+            reader_saw_torn.store(true);
+          }
+          lock.unlock_shared();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, int64_t{kThreads / 2} * kItersPerThread);
+  EXPECT_FALSE(reader_saw_torn.load());
+}
+
+TEST(RwSpinLockTest, ReadersShare) {
+  RwSpinLock lock;
+  ReadersShareTest(lock);
+}
+
+TEST(RwSpinLockTest, WriterExclusion) {
+  RwSpinLock lock;
+  RwCounterTest(lock);
+}
+
+TEST(RwSpinLockTest, TryLockVariants) {
+  RwSpinLock lock;
+  EXPECT_TRUE(lock.try_lock_shared());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock_shared();
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock_shared());
+  lock.unlock();
+}
+
+TEST(FairRwLockTest, ReadersShare) {
+  FairRwLock lock;
+  ReadersShareTest(lock);
+}
+
+TEST(FairRwLockTest, WriterExclusion) {
+  FairRwLock lock;
+  RwCounterTest(lock);
+}
+
+// A writer facing a continuous stream of readers must still get in (phase fairness).
+TEST(FairRwLockTest, WriterNotStarvedByReaders) {
+  FairRwLock lock;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> writer_done{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        lock.lock_shared();
+        std::this_thread::yield();
+        lock.unlock_shared();
+      }
+    });
+  }
+  std::thread writer([&] {
+    lock.lock();
+    writer_done.store(true);
+    lock.unlock();
+  });
+  // Generous bound; phase fairness admits the writer after at most one reader phase.
+  // (The bound is wall-clock generous because CI hosts may oversubscribe cores.)
+  for (int i = 0; i < 20000 && !writer_done.load(); ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  stop.store(true);
+  writer.join();
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_TRUE(writer_done.load());
+}
+
+TEST(RwSemaphoreTest, ReadersShare) {
+  RwSemaphore sem;
+  ReadersShareTest(sem);
+}
+
+TEST(RwSemaphoreTest, WriterExclusion) {
+  RwSemaphore sem;
+  RwCounterTest(sem);
+}
+
+// Exercises the blocking path: a writer must sleep past its optimistic spin budget and
+// still be woken by the last reader leaving.
+TEST(RwSemaphoreTest, BlockedWriterWakesUp) {
+  RwSemaphore sem;
+  sem.lock_shared();
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    sem.lock();
+    writer_done.store(true);
+    sem.unlock();
+  });
+  std::this_thread::sleep_for(50ms);  // force the writer well past its spin budget
+  EXPECT_FALSE(writer_done.load());
+  sem.unlock_shared();
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+}
+
+TEST(RwSemaphoreTest, BlockedReaderWakesUp) {
+  RwSemaphore sem;
+  sem.lock();
+  std::atomic<bool> reader_done{false};
+  std::thread reader([&] {
+    sem.lock_shared();
+    reader_done.store(true);
+    sem.unlock_shared();
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(reader_done.load());
+  sem.unlock();
+  reader.join();
+  EXPECT_TRUE(reader_done.load());
+}
+
+TEST(SeqCounterTest, BumpAdvances) {
+  SeqCounter seq;
+  EXPECT_EQ(seq.Read(), 0u);
+  seq.Bump();
+  seq.Bump();
+  EXPECT_EQ(seq.Read(), 2u);
+}
+
+TEST(BackoffTest, GrowsAndResets) {
+  Backoff backoff(2, 16);
+  backoff.Spin();  // 2
+  backoff.Spin();  // 4
+  backoff.Spin();  // 8
+  backoff.Reset();
+  backoff.Spin();  // back to 2 — just exercising; behaviour is timing-only
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace srl
