@@ -25,13 +25,14 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <mutex>
 
 #include "src/core/range.h"
 #include "src/harness/free_list.h"
 #include "src/harness/wait_stats.h"
 #include "src/rbtree/interval_tree.h"
-#include "src/sync/pause.h"
 #include "src/sync/spin_lock.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -84,6 +85,13 @@ class TreeRangeLock {
   std::size_t DebugHeldCount() const { return tree_.Size(); }
   bool DebugTreeValid() const { return tree_.ValidateStructure(); }
 
+  // Like DebugHeldCount, but safe to poll while other threads acquire/release: counts
+  // nodes (held + waiting) under the internal lock.
+  std::size_t DebugNodeCountLocked() {
+    std::lock_guard<SpinLock> g(spin_);
+    return tree_.Size();
+  }
+
  private:
   Handle Acquire(const Range& r, bool reader) {
     assert(r.Valid());
@@ -101,8 +109,9 @@ class TreeRangeLock {
     n->blocking.store(blockers, std::memory_order_relaxed);
     tree_.Insert(n);
     spin_.unlock();
+    SpinWait spin;
     while (n->blocking.load(std::memory_order_acquire) > 0) {
-      CpuRelax();
+      spin.Spin();
     }
     return n;
   }

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <thread>
 
 #include "src/core/lnode.h"
 #include "src/core/range.h"
@@ -271,7 +272,9 @@ class ListRangeLock {
       CpuRelax();
     }
     EpochDomain::Exit(rec);
-    CpuRelax();
+    // Outside the critical section, cede the CPU: on an oversubscribed host the holder
+    // may be preempted, and re-traversing in a tight loop would just burn our quantum.
+    std::this_thread::yield();
     EpochDomain::Enter(rec);
     return false;
   }

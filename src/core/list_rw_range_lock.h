@@ -19,11 +19,13 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <thread>
 
 #include "src/core/lnode.h"
 #include "src/core/range.h"
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/node_pool.h"
+#include "src/sync/fence.h"
 #include "src/sync/pause.h"
 
 namespace srl {
@@ -276,7 +278,7 @@ class ListRwRangeLock {
                                           std::memory_order_acquire)) {
           // Paired with the same fence in the conflicting party's insertion (see the
           // file comment): both sides cannot miss each other's nodes.
-          std::atomic_thread_fence(std::memory_order_seq_cst);
+          SeqCstFence();
           if (node->reader) {
             RValidate(node, rec);
             return InsertResult::kAcquired;
@@ -378,7 +380,9 @@ class ListRwRangeLock {
       CpuRelax();
     }
     EpochDomain::Exit(rec);
-    CpuRelax();
+    // See ListRangeLock::WaitForRelease: yield outside the critical section so a
+    // preempted holder can run instead of us re-traversing for a whole quantum.
+    std::this_thread::yield();
     EpochDomain::Enter(rec);
     return false;
   }

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "src/sync/spin_wait.h"
+
 namespace srl {
 
 EpochDomain& EpochDomain::Global() {
@@ -55,8 +57,9 @@ void EpochDomain::Barrier(const ThreadRec* self) const {
     }
   }
   for (const Pending& p : pending) {
+    SpinWait spin;
     while (p.epoch->load(std::memory_order_acquire) == p.seen) {
-      CpuRelax();
+      spin.Spin();
     }
   }
 }

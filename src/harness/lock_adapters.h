@@ -6,6 +6,7 @@
 //   struct Adapter {
 //     using Handle = ...;
 //     static constexpr bool kSharedReaders;   // readers of overlapping ranges coexist
+//     static constexpr bool kPrecise;         // disjoint ranges never serialize
 //     static const char* Name();
 //     Handle AcquireRead(const Range&);
 //     Handle AcquireWrite(const Range&);
@@ -31,6 +32,7 @@ namespace srl {
 struct ListExAdapter {
   using Handle = ListRangeLock::Handle;
   static constexpr bool kSharedReaders = false;
+  static constexpr bool kPrecise = true;
   static const char* Name() { return "list-ex"; }
 
   Handle AcquireRead(const Range& r) { return lock.Lock(r); }
@@ -44,6 +46,7 @@ struct ListExAdapter {
 struct ListExFastPathAdapter {
   using Handle = ListRangeLock::Handle;
   static constexpr bool kSharedReaders = false;
+  static constexpr bool kPrecise = true;
   static const char* Name() { return "list-ex-fp"; }
 
   ListExFastPathAdapter() : lock(ListRangeLock::Options{.enable_fast_path = true}) {}
@@ -59,6 +62,7 @@ struct ListExFastPathAdapter {
 struct ListRwAdapter {
   using Handle = ListRwRangeLock::Handle;
   static constexpr bool kSharedReaders = true;
+  static constexpr bool kPrecise = true;
   static const char* Name() { return "list-rw"; }
 
   Handle AcquireRead(const Range& r) { return lock.LockRead(r); }
@@ -72,6 +76,7 @@ struct ListRwAdapter {
 struct ListRwFastPathAdapter {
   using Handle = ListRwRangeLock::Handle;
   static constexpr bool kSharedReaders = true;
+  static constexpr bool kPrecise = true;
   static const char* Name() { return "list-rw-fp"; }
 
   ListRwFastPathAdapter() : lock(ListRwRangeLock::Options{.enable_fast_path = true}) {}
@@ -87,6 +92,7 @@ struct ListRwFastPathAdapter {
 struct FairListExAdapter {
   using Handle = FairListRangeLock::Handle;
   static constexpr bool kSharedReaders = false;
+  static constexpr bool kPrecise = true;
   static const char* Name() { return "list-ex-fair"; }
 
   Handle AcquireRead(const Range& r) { return lock.Lock(r); }
@@ -100,6 +106,7 @@ struct FairListExAdapter {
 struct FairListRwAdapter {
   using Handle = FairListRwRangeLock::Handle;
   static constexpr bool kSharedReaders = true;
+  static constexpr bool kPrecise = true;
   static const char* Name() { return "list-rw-fair"; }
 
   Handle AcquireRead(const Range& r) { return lock.LockRead(r); }
@@ -113,6 +120,7 @@ struct FairListRwAdapter {
 struct TreeExAdapter {
   using Handle = TreeRangeLock::Handle;
   static constexpr bool kSharedReaders = false;
+  static constexpr bool kPrecise = true;
   static const char* Name() { return "lustre-ex"; }
 
   Handle AcquireRead(const Range& r) { return lock.AcquireWrite(r); }
@@ -126,6 +134,7 @@ struct TreeExAdapter {
 struct TreeRwAdapter {
   using Handle = TreeRangeLock::Handle;
   static constexpr bool kSharedReaders = true;
+  static constexpr bool kPrecise = true;
   static const char* Name() { return "kernel-rw"; }
 
   Handle AcquireRead(const Range& r) { return lock.AcquireRead(r); }
@@ -140,6 +149,7 @@ struct TreeRwAdapter {
 struct SegmentRwAdapter {
   using Handle = SegmentRangeLock::Handle;
   static constexpr bool kSharedReaders = true;
+  static constexpr bool kPrecise = false;
   static const char* Name() { return "pnova-rw"; }
 
   SegmentRwAdapter() : lock(/*universe_end=*/1024, /*num_segments=*/64) {}
@@ -158,6 +168,7 @@ struct RwSemAdapter {
     bool reader = false;
   };
   static constexpr bool kSharedReaders = true;
+  static constexpr bool kPrecise = false;
   static const char* Name() { return "stock-rwsem"; }
 
   Handle AcquireRead(const Range&) {

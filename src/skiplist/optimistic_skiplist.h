@@ -21,6 +21,7 @@
 #include "src/epoch/retire_list.h"
 #include "src/harness/prng.h"
 #include "src/sync/spin_lock.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -61,8 +62,9 @@ class OptimisticSkipList {
         if (!existing->marked.load(std::memory_order_acquire)) {
           // Key already present (or being inserted); wait for it to be fully linked so
           // our "false" answer is linearizable.
+          SpinWait spin;
           while (!existing->fully_linked.load(std::memory_order_acquire)) {
-            CpuRelax();
+            spin.Spin();
           }
           return false;
         }

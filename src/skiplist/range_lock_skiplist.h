@@ -28,6 +28,7 @@
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/retire_list.h"
 #include "src/harness/prng.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -85,8 +86,9 @@ class RangeLockSkipList {
       if (found != -1) {
         Node* existing = succs[found];
         if (!existing->marked.load(std::memory_order_acquire)) {
+          SpinWait spin;
           while (!existing->fully_linked.load(std::memory_order_acquire)) {
-            CpuRelax();
+            spin.Spin();
           }
           EpochDomain::Exit(rec);
           return false;

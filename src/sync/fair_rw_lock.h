@@ -14,7 +14,7 @@
 #include <atomic>
 #include <cstdint>
 
-#include "src/sync/pause.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -31,8 +31,9 @@ class FairRwLock {
       // A writer is present: wait until its presence word changes (it released, or the
       // next writer — with a flipped phase bit — took over, which also ends our wait and
       // gives phase-fairness: we only ever wait for one writer).
+      SpinWait spin;
       while ((rin_.load(std::memory_order_acquire) & kWriterMask) == w) {
-        CpuRelax();
+        spin.Spin();
       }
     }
   }
@@ -42,15 +43,17 @@ class FairRwLock {
   void lock() {
     // Writers serialize through a ticket pair.
     const uint32_t ticket = win_.fetch_add(1, std::memory_order_relaxed);
+    SpinWait spin;
     while (wout_.load(std::memory_order_acquire) != ticket) {
-      CpuRelax();
+      spin.Spin();
     }
     // Publish presence (blocks new readers) and snapshot how many readers are ahead of us.
     const uint32_t w = kWriterPresent | (ticket & kPhaseBit);
     const uint32_t readers_in = rin_.fetch_add(w, std::memory_order_acq_rel) & ~kWriterMask;
     // Wait for every reader that entered before us to leave.
+    spin.Reset();
     while (rout_.load(std::memory_order_acquire) != readers_in) {
-      CpuRelax();
+      spin.Spin();
     }
   }
 

@@ -30,7 +30,8 @@ class RwSemaphore {
     uint32_t spins = 0;
     for (;;) {
       uint32_t s = state_.load(std::memory_order_relaxed);
-      if ((s & kWriterBit) == 0 && writers_waiting_.load(std::memory_order_relaxed) == 0) {
+      const uint32_t ww = writers_waiting_.load(std::memory_order_relaxed);
+      if ((s & kWriterBit) == 0 && ww == 0) {
         if (state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
           return;
@@ -39,8 +40,16 @@ class RwSemaphore {
       }
       if (++spins < kOptimisticSpins) {
         CpuRelax();
-      } else {
+      } else if ((s & kWriterBit) != 0) {
+        // Blocked by an active writer; its unlock() changes state_ and notifies.
         state_.wait(s, std::memory_order_relaxed);
+      } else {
+        // Blocked only by a *queued* writer (s may well be 0). Waiting on state_ here
+        // loses the wakeup if that writer completes its whole critical section before
+        // we sleep — state_ is back to the value we'd wait on and nobody notifies
+        // again. Wait on the counter that actually blocks us instead; the writer
+        // notifies it when it dequeues.
+        writers_waiting_.wait(ww, std::memory_order_relaxed);
       }
     }
   }
@@ -66,11 +75,16 @@ class RwSemaphore {
       }
       if (++spins < kOptimisticSpins) {
         CpuRelax();
-      } else {
+      } else if (expected != 0) {
+        // Never wait on state_ == 0: the lock is free (a spuriously failed CAS can
+        // leave expected == 0), and no one is obliged to notify.
         state_.wait(expected, std::memory_order_seq_cst);
       }
     }
+    // Dequeue and wake readers held off by our presence in the queue (they wait on
+    // writers_waiting_, see lock_shared). They will re-check and find kWriterBit set.
     writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+    writers_waiting_.notify_all();
   }
 
   void unlock() {

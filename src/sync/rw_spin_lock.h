@@ -8,7 +8,7 @@
 #include <atomic>
 #include <cstdint>
 
-#include "src/sync/pause.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -22,6 +22,7 @@ class RwSpinLock {
   RwSpinLock& operator=(const RwSpinLock&) = delete;
 
   void lock_shared() {
+    SpinWait spin;
     for (;;) {
       if (writers_waiting_.load(std::memory_order_relaxed) == 0) {
         uint32_t s = state_.load(std::memory_order_relaxed);
@@ -31,7 +32,7 @@ class RwSpinLock {
           return;
         }
       }
-      CpuRelax();
+      spin.Spin();
     }
   }
 
@@ -46,13 +47,14 @@ class RwSpinLock {
 
   void lock() {
     writers_waiting_.fetch_add(1, std::memory_order_relaxed);
+    SpinWait spin;
     for (;;) {
       uint32_t expected = 0;
       if (state_.compare_exchange_weak(expected, kWriterBit, std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
         break;
       }
-      CpuRelax();
+      spin.Spin();
     }
     writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
   }

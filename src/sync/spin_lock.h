@@ -8,7 +8,7 @@
 
 #include <atomic>
 
-#include "src/sync/pause.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -20,12 +20,13 @@ class SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() {
+    SpinWait spin;
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) {
         return;
       }
       while (locked_.load(std::memory_order_relaxed)) {
-        CpuRelax();
+        spin.Spin();
       }
     }
   }

@@ -1,0 +1,45 @@
+// Adaptive busy-wait helper for the sync layer's wait loops.
+//
+// Pure CpuRelax() spinning assumes the holder is making progress on another core. On an
+// oversubscribed host (CI containers, laptops, threads > cores) the holder may be
+// preempted, and a pure spinner then burns its entire scheduler quantum before the
+// holder can run — contended tests that finish in milliseconds on a big machine take
+// minutes on a single core. SpinWait spins politely for a bounded number of iterations
+// (the common uncontended-handoff case stays in user space, no syscall) and then yields
+// the CPU so a preempted holder can be rescheduled.
+#ifndef SRL_SYNC_SPIN_WAIT_H_
+#define SRL_SYNC_SPIN_WAIT_H_
+
+#include <cstdint>
+#include <thread>
+
+#include "src/sync/pause.h"
+
+namespace srl {
+
+class SpinWait {
+ public:
+  // One wait-loop iteration: CpuRelax for the first `spins_before_yield` calls, then
+  // std::this_thread::yield() on every call after that.
+  void Spin() {
+    if (count_ < kSpinsBeforeYield) {
+      ++count_;
+      CpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void Reset() { count_ = 0; }
+
+ private:
+  // Long enough that a cache-to-cache handoff never yields; short enough that a
+  // preempted holder costs one scheduler quantum, not many.
+  static constexpr uint32_t kSpinsBeforeYield = 256;
+
+  uint32_t count_ = 0;
+};
+
+}  // namespace srl
+
+#endif  // SRL_SYNC_SPIN_WAIT_H_

@@ -5,7 +5,7 @@
 #include <atomic>
 #include <cstdint>
 
-#include "src/sync/pause.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -19,8 +19,9 @@ class TicketLock {
 
   void lock() {
     const uint32_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+    SpinWait spin;
     while (serving_.load(std::memory_order_acquire) != ticket) {
-      CpuRelax();
+      spin.Spin();
     }
   }
 

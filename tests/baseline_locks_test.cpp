@@ -11,11 +11,14 @@
 #include "src/baselines/tree_range_lock.h"
 #include "src/harness/prng.h"
 #include "tests/common/range_oracle.h"
+#include "tests/common/test_clock.h"
 
 namespace srl {
 namespace {
 
 using namespace std::chrono_literals;
+using testing::EventuallyTrue;
+using testing::StaysFalse;
 
 TEST(TreeRangeLockTest, AcquireReleaseSingleThread) {
   TreeRangeLock lock;
@@ -49,8 +52,7 @@ TEST(TreeRangeLockTest, OverlappingWriterBlocks) {
     in.store(true);
     lock.Release(h2);
   });
-  std::this_thread::sleep_for(30ms);
-  EXPECT_FALSE(in.load());
+  EXPECT_TRUE(StaysFalse([&] { return in.load(); }));
   lock.Release(h1);
   t.join();
   EXPECT_TRUE(in.load());
@@ -79,8 +81,7 @@ TEST(TreeRangeLockTest, WriterBlocksBehindReader) {
     in.store(true);
     lock.Release(w);
   });
-  std::this_thread::sleep_for(30ms);
-  EXPECT_FALSE(in.load());
+  EXPECT_TRUE(StaysFalse([&] { return in.load(); }));
   lock.Release(r);
   t.join();
   EXPECT_TRUE(in.load());
@@ -98,16 +99,17 @@ TEST(TreeRangeLockTest, RequestBlocksBehindOverlappingWaiter) {
     b_in.store(true);
     lock.Release(h);
   });
-  std::this_thread::sleep_for(20ms);  // B is now waiting, its range is in the tree
+  // Wait until B's range is actually in the tree (waiters are inserted before they
+  // spin), so C is guaranteed to find it there.
+  ASSERT_TRUE(EventuallyTrue([&] { return lock.DebugNodeCountLocked() == 2; }));
   std::atomic<bool> c_in{false};
   std::thread c([&] {
     auto h = lock.AcquireWrite({4, 5});
     c_in.store(true);
     lock.Release(h);
   });
-  std::this_thread::sleep_for(30ms);
-  EXPECT_FALSE(b_in.load());
-  EXPECT_FALSE(c_in.load()) << "kernel tree lock admits C ahead of waiter B — FIFO broken";
+  EXPECT_TRUE(StaysFalse([&] { return b_in.load() || c_in.load(); }))
+      << "kernel tree lock admits C ahead of waiter B — FIFO broken";
   lock.Release(a);
   b.join();
   c.join();
@@ -185,8 +187,7 @@ TEST(SegmentRangeLockTest, FullRangeTakesEverySegment) {
     in.store(true);
     lock.Release(h2);
   });
-  std::this_thread::sleep_for(30ms);
-  EXPECT_FALSE(in.load());
+  EXPECT_TRUE(StaysFalse([&] { return in.load(); }));
   lock.Release(h);
   t.join();
   EXPECT_TRUE(in.load());
@@ -203,8 +204,7 @@ TEST(SegmentRangeLockTest, FalseSharingWithinSegment) {
     in.store(true);
     lock.Release(h2);
   });
-  std::this_thread::sleep_for(30ms);
-  EXPECT_FALSE(in.load());
+  EXPECT_TRUE(StaysFalse([&] { return in.load(); }));
   lock.Release(h);
   t.join();
   EXPECT_TRUE(in.load());

@@ -1,0 +1,61 @@
+// Bounded-retry timing helpers for concurrency tests.
+//
+// The anti-pattern these replace: `sleep_for(30ms); EXPECT_FALSE(acquired)`. A fixed
+// sleep encodes a machine-speed assumption twice over — on a slow or oversubscribed CI
+// host the observed thread may not even have reached the interesting state when the
+// sleep expires, and on a fast machine the test wastes the full sleep even when the
+// outcome is already decided. Both helpers poll instead, so a genuine lock violation is
+// reported as soon as it happens and a setup condition is waited for only as long as it
+// actually takes.
+#ifndef SRL_TESTS_COMMON_TEST_CLOCK_H_
+#define SRL_TESTS_COMMON_TEST_CLOCK_H_
+
+#include <chrono>
+#include <thread>
+
+namespace srl::testing {
+
+// Generous default for positive waits ("the blocked thread must get in after release"):
+// a correct implementation satisfies the predicate in microseconds, so the deadline only
+// bounds how long a *broken* implementation can hang the suite.
+inline constexpr std::chrono::steady_clock::duration kEventuallyDeadline =
+    std::chrono::seconds(10);
+
+// Observation window for negative checks ("the overlapping request must still be
+// blocked"). A violation typically shows up immediately, so polling for this long —
+// instead of sleeping it — keeps correct runs short without weakening the check.
+inline constexpr std::chrono::steady_clock::duration kBlockedWindow =
+    std::chrono::milliseconds(50);
+
+// Polls `pred` until it returns true or `deadline` elapses. Returns whether the
+// predicate became true. Polls densely at first (catching fast transitions without a
+// syscall), then backs off to yields so a starved peer thread can run.
+template <typename Pred>
+bool EventuallyTrue(Pred&& pred, std::chrono::steady_clock::duration deadline = kEventuallyDeadline) {
+  const auto give_up = std::chrono::steady_clock::now() + deadline;
+  for (int i = 0; ; ++i) {
+    if (pred()) {
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= give_up) {
+      return pred();
+    }
+    if (i < 128) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+// Watches `pred` for `window` and returns true iff it never became true — the deflaked
+// replacement for `sleep_for(30ms); EXPECT_FALSE(pred)`. A wrongly-admitted thread
+// fails the check the moment it gets in; a correct lock pays exactly `window`.
+template <typename Pred>
+bool StaysFalse(Pred&& pred, std::chrono::steady_clock::duration window = kBlockedWindow) {
+  return !EventuallyTrue(pred, window);
+}
+
+}  // namespace srl::testing
+
+#endif  // SRL_TESTS_COMMON_TEST_CLOCK_H_

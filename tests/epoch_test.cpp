@@ -10,11 +10,13 @@
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/node_pool.h"
 #include "src/epoch/retire_list.h"
+#include "tests/common/test_clock.h"
 
 namespace srl {
 namespace {
 
 using namespace std::chrono_literals;
+using testing::StaysFalse;
 
 TEST(EpochDomainTest, EnterExitTogglesParity) {
   EpochDomain domain;
@@ -59,8 +61,8 @@ TEST(EpochDomainTest, BarrierWaitsForCriticalSection) {
     domain.Barrier();
     barrier_done.store(true);
   });
-  std::this_thread::sleep_for(30ms);
-  EXPECT_FALSE(barrier_done.load()) << "barrier returned while a critical section was live";
+  EXPECT_TRUE(StaysFalse([&] { return barrier_done.load(); }))
+      << "barrier returned while a critical section was live";
   release_cs.store(true);
   barrier_thread.join();
   cs_thread.join();

@@ -10,11 +10,13 @@
 #include "src/core/list_rw_range_lock.h"
 #include "src/harness/prng.h"
 #include "tests/common/range_oracle.h"
+#include "tests/common/test_clock.h"
 
 namespace srl {
 namespace {
 
 using namespace std::chrono_literals;
+using testing::StaysFalse;
 
 TEST(ListRwRangeLockTest, ReadWriteSingleThread) {
   ListRwRangeLock lock;
@@ -59,8 +61,7 @@ TEST(ListRwRangeLockTest, WriterBlocksOverlappingReader) {
     reader_in.store(true);
     lock.Unlock(r);
   });
-  std::this_thread::sleep_for(30ms);
-  EXPECT_FALSE(reader_in.load());
+  EXPECT_TRUE(StaysFalse([&] { return reader_in.load(); }));
   lock.Unlock(w);
   t.join();
   EXPECT_TRUE(reader_in.load());
@@ -75,8 +76,7 @@ TEST(ListRwRangeLockTest, ReaderBlocksOverlappingWriter) {
     writer_in.store(true);
     lock.Unlock(w);
   });
-  std::this_thread::sleep_for(30ms);
-  EXPECT_FALSE(writer_in.load());
+  EXPECT_TRUE(StaysFalse([&] { return writer_in.load(); }));
   lock.Unlock(r);
   t.join();
   EXPECT_TRUE(writer_in.load());
@@ -91,8 +91,7 @@ TEST(ListRwRangeLockTest, WritersExcludeEachOther) {
     second_in.store(true);
     lock.Unlock(w2);
   });
-  std::this_thread::sleep_for(30ms);
-  EXPECT_FALSE(second_in.load());
+  EXPECT_TRUE(StaysFalse([&] { return second_in.load(); }));
   lock.Unlock(w1);
   t.join();
   EXPECT_TRUE(second_in.load());

@@ -8,11 +8,13 @@
 
 #include "src/vm/address_space.h"
 #include "src/vm/vm_lock.h"
+#include "tests/common/test_clock.h"
 
 namespace srl::vm {
 namespace {
 
 using namespace std::chrono_literals;
+using srl::testing::StaysFalse;
 
 constexpr uint64_t kPage = AddressSpace::kPageSize;
 
@@ -32,8 +34,7 @@ TEST_P(VmLockTest, ReadersShareWritersExclude) {
     in.store(true);
     lock->UnlockWrite(w2);
   });
-  std::this_thread::sleep_for(30ms);
-  EXPECT_FALSE(in.load());
+  EXPECT_TRUE(StaysFalse([&] { return in.load(); }));
   lock->UnlockWrite(w);
   t.join();
   EXPECT_TRUE(in.load());
@@ -48,8 +49,7 @@ TEST_P(VmLockTest, FullWriteExcludesEverything) {
     in.store(true);
     lock->UnlockRead(r);
   });
-  std::this_thread::sleep_for(30ms);
-  EXPECT_FALSE(in.load());
+  EXPECT_TRUE(StaysFalse([&] { return in.load(); }));
   lock->UnlockWrite(fw);
   t.join();
   EXPECT_TRUE(in.load());
@@ -66,8 +66,7 @@ TEST_P(VmLockTest, DisjointWritesParallelIffRangeLock) {
   });
   if (GetParam() == VmLockKind::kStock) {
     // The semaphore ignores ranges: disjoint writers still serialize.
-    std::this_thread::sleep_for(30ms);
-    EXPECT_FALSE(in.load());
+    EXPECT_TRUE(StaysFalse([&] { return in.load(); }));
     lock->UnlockWrite(w1);
     t.join();
   } else {

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# CI-style verification: configure + build + ctest in plain, TSan and ASan(+UBSan)
+# configurations, failing on the first error.
+#
+# Usage:
+#   tools/check.sh            # all three configurations
+#   tools/check.sh plain      # just one (plain | thread | address)
+#
+# The sanitizer passes run the concurrency-heavy lock tests (not the full suite) to keep
+# wall-clock sane under the ~10x sanitizer slowdown; the plain pass runs everything.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+CONFIGS=("${@:-plain thread address}")
+# Word-split the default string while leaving explicit args intact.
+read -r -a CONFIGS <<<"${CONFIGS[*]}"
+
+# Lock-free hot paths + the sync substrate: what TSan/ASan must stay clean on.
+SANITIZED_TESTS='ListRangeLock|ListRwRangeLock|FairList|LockConformance|Epoch|Sync|SpinLock|TicketLock|RwSpinLock|FairRwLock|RwSemaphore|TreeRangeLock|SegmentRangeLock|RangeOracle'
+
+run_config() {
+  local config="$1"
+  local build_dir sanitize
+  case "$config" in
+    plain)   build_dir=build-check;      sanitize="" ;;
+    thread)  build_dir=build-check-tsan; sanitize=thread ;;
+    address) build_dir=build-check-asan; sanitize=address ;;
+    *) echo "unknown configuration: $config (want plain|thread|address)" >&2; exit 2 ;;
+  esac
+
+  echo "=== [$config] configure ==="
+  cmake -B "$build_dir" -S . -DSRL_SANITIZE="$sanitize" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+  echo "=== [$config] build ==="
+  cmake --build "$build_dir" -j "$JOBS"
+
+  echo "=== [$config] test ==="
+  if [[ "$config" == plain ]]; then
+    ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+  else
+    # Sanitizers must abort the test process on any finding, not just log it.
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+    UBSAN_OPTIONS="halt_on_error=1" \
+      ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" -R "$SANITIZED_TESTS"
+  fi
+}
+
+for config in "${CONFIGS[@]}"; do
+  run_config "$config"
+done
+
+echo "=== all configurations green ==="
