@@ -1,0 +1,144 @@
+// Ablation — the trylock-first page-fault path under address-space churn.
+//
+// The kernel fault handler trylocks mmap_sem before it will ever sleep; our
+// AddressSpace::PageFault mirrors that against the pluggable VmLock. This bench
+// quantifies what the paper's kernel experiments imply but never isolate: how often the
+// fault path gets in *without blocking*, per lock variant, as mmap/munmap churn takes
+// full-range write acquisitions around it.
+//
+// Setup: `threads` fault threads touch uniformly random pages of a shared
+// `--pages`-page mapping; one churn thread loops { mmap scratch; munmap scratch }
+// (each a full-range write acquisition) with `--churn-pause` no-ops between cycles.
+// Reported per variant: fault throughput, trylock success rate (VmStats
+// fault_try_ok / (ok + fallback)), and total churn cycles.
+//
+// Flags: --variants=stock,tree-full,tree-refined,list-full,list-refined
+//        --threads=1,2,4,8  --secs=0.25  --repeats=1  --pages=1024
+//        --churn-pause=4096  --csv  --json=BENCH_trylock.json
+#include <atomic>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/harness/cli.h"
+#include "src/harness/prng.h"
+#include "src/harness/table.h"
+#include "src/harness/throughput_runner.h"
+#include "src/vm/address_space.h"
+
+namespace srl {
+namespace {
+
+using vm::AddressSpace;
+using vm::VmVariant;
+
+struct RunResult {
+  Summary faults_per_sec;
+  double try_success_rate = 0.0;
+  uint64_t churn_cycles = 0;
+};
+
+RunResult RunOne(VmVariant variant, int fault_threads, double secs, int repeats,
+                 uint64_t pages, uint64_t churn_pause) {
+  AddressSpace as(variant);
+  const uint64_t base = as.Mmap(pages * AddressSpace::kPageSize,
+                                vm::kProtRead | vm::kProtWrite);
+  std::atomic<uint64_t> churn_cycles{0};
+  // Worker tids [0, fault_threads) fault; tid == fault_threads churns. Only fault
+  // completions count as ops, so the throughput number is faults/sec.
+  const Summary s = MeasureThroughputRepeated(
+      fault_threads + 1, secs, repeats, [&](int tid, std::atomic<bool>& stop) {
+        uint64_t ops = 0;
+        if (tid == fault_threads) {
+          while (!stop.load(std::memory_order_relaxed)) {
+            const uint64_t scratch =
+                as.Mmap(2 * AddressSpace::kPageSize, vm::kProtRead | vm::kProtWrite);
+            as.Munmap(scratch, 2 * AddressSpace::kPageSize);
+            churn_cycles.fetch_add(1, std::memory_order_relaxed);
+            for (uint64_t i = 0; i < churn_pause; ++i) {
+              asm volatile("");
+            }
+          }
+          return uint64_t{0};
+        }
+        Xoshiro256 rng(0xfa017 + static_cast<uint64_t>(tid));
+        while (!stop.load(std::memory_order_relaxed)) {
+          const uint64_t page = rng.NextBelow(pages);
+          as.PageFault(base + page * AddressSpace::kPageSize, rng.NextChance(0.3));
+          ++ops;
+        }
+        return ops;
+      });
+  RunResult r;
+  r.faults_per_sec = s;
+  r.try_success_rate = as.Stats().FaultTrySuccessRate();
+  r.churn_cycles = churn_cycles.load(std::memory_order_relaxed);
+  return r;
+}
+
+// Reverse of vm::VmVariantName, so the flag parser and the enum can never drift: any
+// variant the VM layer names (including the Figure 6 breakdown ones) is accepted here.
+VmVariant VariantFromName(const std::string& name, bool* ok) {
+  for (const VmVariant v :
+       {VmVariant::kStock, VmVariant::kTreeFull, VmVariant::kTreeRefined,
+        VmVariant::kListFull, VmVariant::kListRefined, VmVariant::kListPf,
+        VmVariant::kListMprotect}) {
+    if (name == VmVariantName(v)) {
+      *ok = true;
+      return v;
+    }
+  }
+  *ok = false;
+  return VmVariant::kStock;
+}
+
+}  // namespace
+}  // namespace srl
+
+int main(int argc, char** argv) {
+  srl::Cli cli(argc, argv);
+  if (cli.Has("--help")) {
+    std::cout << "abl_trylock --variants=stock,tree-full,tree-refined,list-full,"
+                 "list-refined --threads=1,2,4,8 --secs=0.25 --repeats=1 "
+                 "--pages=1024 --churn-pause=4096 --csv --json=BENCH_trylock.json\n";
+    return 0;
+  }
+  const std::vector<int> threads = cli.GetIntList("--threads", {1, 2, 4, 8});
+  const double secs = cli.GetDouble("--secs", 0.25);
+  const int repeats = static_cast<int>(cli.GetInt("--repeats", 1));
+  const uint64_t pages = static_cast<uint64_t>(cli.GetInt("--pages", 1024));
+  const uint64_t churn_pause =
+      static_cast<uint64_t>(cli.GetInt("--churn-pause", 4096));
+  const bool csv = cli.GetBool("--csv");
+
+  const std::vector<std::string> names = cli.GetStringList(
+      "--variants", {"stock", "tree-full", "tree-refined", "list-full", "list-refined"});
+
+  std::cout << "\n=== trylock-first fault path under mmap/munmap churn ===\n";
+  srl::Table table(
+      {"variant", "threads", "faults/sec", "rel-stddev%", "try-success%", "churn-cycles"});
+  for (const std::string& name : names) {
+    bool ok = false;
+    const srl::vm::VmVariant variant = srl::VariantFromName(name, &ok);
+    if (!ok) {
+      std::cerr << "unknown variant: " << name << "\n";
+      return 2;
+    }
+    for (int t : threads) {
+      const srl::RunResult r = srl::RunOne(variant, t, secs, repeats, pages, churn_pause);
+      table.AddRow({name, std::to_string(t), srl::Table::Num(r.faults_per_sec.mean, 0),
+                    srl::Table::Num(r.faults_per_sec.RelStddevPct(), 1),
+                    srl::Table::Num(r.try_success_rate * 100.0, 2),
+                    std::to_string(r.churn_cycles)});
+    }
+  }
+  table.Print(std::cout, csv);
+
+  srl::BenchJson json("abl_trylock");
+  json.AddTable({{"pages", std::to_string(pages)},
+                 {"churn_pause", std::to_string(churn_pause)},
+                 {"secs", srl::Table::Num(secs, 3)},
+                 {"repeats", std::to_string(repeats)}},
+                table);
+  return json.Write(cli.JsonPath()) ? 0 : 1;
+}

@@ -182,7 +182,7 @@ Summary RunOne(Variant variant, double read_fraction, int threads, double secs,
 }
 
 void RunPanel(Variant variant, double read_fraction, const std::vector<int>& threads,
-              double secs, int repeats, bool csv) {
+              double secs, int repeats, bool csv, BenchJson* json) {
   std::cout << "\n=== Figure 3 (" << VariantName(variant) << " ranges, "
             << static_cast<int>(read_fraction * 100) << "% reads) — throughput, ops/sec ===\n";
   Table table({"lock", "threads", "ops/sec", "rel-stddev%"});
@@ -198,6 +198,9 @@ void RunPanel(Variant variant, double read_fraction, const std::vector<int>& thr
     add(ListRw::Name(), t, RunOne<ListRw>(variant, read_fraction, t, secs, repeats));
   }
   table.Print(std::cout, csv);
+  json->AddTable({{"variant", VariantName(variant)},
+                  {"read_pct", std::to_string(static_cast<int>(read_fraction * 100))}},
+                 table);
 }
 
 }  // namespace
@@ -207,7 +210,8 @@ int main(int argc, char** argv) {
   srl::Cli cli(argc, argv);
   if (cli.Has("--help")) {
     std::cout << "fig3_arrbench --variant=full|disjoint|random|all "
-                 "--threads=1,2,4,8 --secs=0.25 --repeats=1 --csv\n";
+                 "--threads=1,2,4,8 --secs=0.25 --repeats=1 --csv "
+                 "--json=BENCH_fig3.json\n";
     return 0;
   }
   const std::string variant = cli.GetString("--variant", "all");
@@ -226,9 +230,10 @@ int main(int argc, char** argv) {
   } else {
     variants = {srl::Variant::kRandom};
   }
+  srl::BenchJson json("fig3_arrbench");
   for (srl::Variant v : variants) {
-    srl::RunPanel(v, 1.0, threads, secs, repeats, csv);   // 100% reads panel
-    srl::RunPanel(v, 0.6, threads, secs, repeats, csv);   // 60% reads panel
+    srl::RunPanel(v, 1.0, threads, secs, repeats, csv, &json);  // 100% reads panel
+    srl::RunPanel(v, 0.6, threads, secs, repeats, csv, &json);  // 60% reads panel
   }
-  return 0;
+  return json.Write(cli.JsonPath()) ? 0 : 1;
 }

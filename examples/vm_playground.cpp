@@ -3,6 +3,7 @@
 //
 // Build & run:  ./build/examples/vm_playground
 #include <iostream>
+#include <thread>
 
 #include "src/metis/arena_allocator.h"
 #include "src/vm/address_space.h"
@@ -46,6 +47,25 @@ int main() {
             << "\n";
   std::cout << "  write to page 5: " << (as.PageFault(base + 5 * kPage, true) ? "ok" : "SIGSEGV")
             << "\n";
+
+  // The fault path is trylock-first (mmap_read_trylock in the kernel): uncontended
+  // faults get in without ever preparing to block. Demonstrate the fallback by faulting
+  // while another thread holds the full-range write lock, as an mmap would.
+  std::cout << "\ntrylock-first faulting: a full-range writer forces the fault path "
+               "onto the blocking fallback:\n";
+  {
+    void* wh = as.Lock().LockFullWrite();
+    std::thread faulter([&] { as.PageFault(base, false); });
+    // Give the faulter a moment to hit the trylock and fail it.
+    while (as.Stats().fault_try_fallback.load() == 0) {
+      std::this_thread::yield();
+    }
+    as.Lock().UnlockWrite(wh);  // the blocked fault now admits
+    faulter.join();
+  }
+  std::cout << "  faults admitted without blocking: " << as.Stats().fault_try_ok.load()
+            << "\n  faults that fell back to blocking: "
+            << as.Stats().fault_try_fallback.load() << "\n";
 
   // The glibc-arena pattern at a larger scale, via the allocator simulation.
   std::cout << "\nrunning a glibc-style arena through 2000 allocations...\n";

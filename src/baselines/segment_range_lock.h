@@ -13,11 +13,13 @@
 #define SRL_BASELINES_SEGMENT_RANGE_LOCK_H_
 
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 
 #include "src/core/range.h"
 #include "src/sync/cacheline.h"
+#include "src/sync/deadline.h"
 #include "src/sync/rw_spin_lock.h"
 
 namespace srl {
@@ -46,6 +48,29 @@ class SegmentRangeLock {
   Handle AcquireRead(const Range& r) { return Acquire(r, /*reader=*/true); }
   Handle AcquireWrite(const Range& r) { return Acquire(r, /*reader=*/false); }
 
+  // Non-blocking acquisition: try_locks each covered segment in ascending order; if any
+  // segment is unavailable, the already-acquired prefix is released (in descending
+  // order) and the whole acquisition fails. Because segments are coarser than ranges, a
+  // failure does not prove a conflicting *range* is held — only a conflicting segment —
+  // so disjoint ranges sharing a segment can fail against each other (the lock is not
+  // precise; see kPrecise in the adapter layer).
+  bool TryAcquireRead(const Range& r, Handle* out) {
+    return AcquireDeadline(r, /*reader=*/true, Deadline::Immediate(), out);
+  }
+  bool TryAcquireWrite(const Range& r, Handle* out) {
+    return AcquireDeadline(r, /*reader=*/false, Deadline::Immediate(), out);
+  }
+
+  // Timed acquisition: polls each segment until it is taken or the deadline expires;
+  // expiry releases the prefix and fails. The deadline covers the whole range, not each
+  // segment.
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds timeout, Handle* out) {
+    return AcquireDeadline(r, /*reader=*/true, Deadline::After(timeout), out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds timeout, Handle* out) {
+    return AcquireDeadline(r, /*reader=*/false, Deadline::After(timeout), out);
+  }
+
   void Release(const Handle& h) {
     for (uint32_t i = h.last_seg + 1; i-- > h.first_seg;) {
       if (h.reader) {
@@ -60,19 +85,40 @@ class SegmentRangeLock {
 
  private:
   Handle Acquire(const Range& r, bool reader) {
+    // lock_*_until(Infinite) never gives up, so the blocking acquisition is the
+    // deadline walk with an inexhaustible deadline — one copy of the segment loop.
+    Handle h;
+    AcquireDeadline(r, reader, Deadline::Infinite(), &h);
+    return h;
+  }
+
+  bool AcquireDeadline(const Range& r, bool reader, const Deadline& deadline,
+                       Handle* out) {
     assert(r.Valid());
     Handle h;
     h.first_seg = SegmentOf(r.start);
     h.last_seg = SegmentOf(r.end - 1);
     h.reader = reader;
     for (uint32_t i = h.first_seg; i <= h.last_seg; ++i) {
-      if (reader) {
-        segments_[i].value.lock_shared();
-      } else {
-        segments_[i].value.lock();
+      // The *_until forms keep RwSpinLock's admission policy (readers defer to queued
+      // writers; a waiting writer registers), so timed acquisitions neither starve nor
+      // get starved by the blocking ones — only the deadline differs.
+      RwSpinLock& seg = segments_[i].value;
+      if (reader ? seg.lock_shared_until(deadline) : seg.lock_until(deadline)) {
+        continue;
       }
+      // Unwind the prefix [first_seg, i) and fail.
+      for (uint32_t j = i; j-- > h.first_seg;) {
+        if (reader) {
+          segments_[j].value.unlock_shared();
+        } else {
+          segments_[j].value.unlock();
+        }
+      }
+      return false;
     }
-    return h;
+    *out = h;
+    return true;
   }
 
   uint32_t SegmentOf(uint64_t addr) const {

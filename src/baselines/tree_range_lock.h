@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 
@@ -31,8 +32,8 @@
 #include "src/harness/free_list.h"
 #include "src/harness/wait_stats.h"
 #include "src/rbtree/interval_tree.h"
+#include "src/sync/deadline.h"
 #include "src/sync/spin_lock.h"
-#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -48,6 +49,12 @@ class TreeRangeLock {
     uint64_t max_end = 0;
     bool reader = false;
     std::atomic<int> blocking{0};
+    // Arrival order, assigned under the internal spin lock. Establishes who counted
+    // whom: node o counted node n in o->blocking iff they conflict and o->seq > n->seq
+    // (n was in the tree when o arrived). A waiter that aborts (timed acquisition
+    // giving up) must decrement exactly the nodes that counted it — unlike a release,
+    // conflicting *earlier* arrivals may still be present, and they never counted us.
+    uint64_t seq = 0;
     Node* pool_next = nullptr;
   };
 
@@ -64,15 +71,28 @@ class TreeRangeLock {
   Handle AcquireRead(const Range& r) { return Acquire(r, /*reader=*/true); }
   Handle AcquireWrite(const Range& r) { return Acquire(r, /*reader=*/false); }
 
+  // Non-blocking acquisition: succeeds iff the request would have admitted immediately
+  // (zero blockers at insertion time). On failure nothing is inserted, so the FIFO
+  // admission pathology (§3) never sees the request. The internal spin lock is still
+  // taken — like the kernel's trylock, "non-blocking" refers to the range wait, not the
+  // short structure lock.
+  bool TryAcquireRead(const Range& r, Handle* out) { return TryAcquire(r, true, out); }
+  bool TryAcquireWrite(const Range& r, Handle* out) { return TryAcquire(r, false, out); }
+
+  // Timed acquisition: inserts and waits like Acquire, but gives up once `timeout`
+  // elapses. An aborting waiter removes its node and un-counts itself from every
+  // conflicting later arrival (they counted it under FIFO admission), so waiters behind
+  // an aborted request admit as if it had never queued.
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds timeout, Handle* out) {
+    return AcquireWithDeadline(r, /*reader=*/true, Deadline::After(timeout), out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds timeout, Handle* out) {
+    return AcquireWithDeadline(r, /*reader=*/false, Deadline::After(timeout), out);
+  }
+
   void Release(Handle n) {
     LockInternal();
-    tree_.Erase(n);
-    tree_.ForEachOverlap(n->start, n->end, [n](Node* o) {
-      // o counted us at its acquisition iff at least one of the two is a writer.
-      if (!n->reader || !o->reader) {
-        o->blocking.fetch_sub(1, std::memory_order_release);
-      }
-    });
+    RemoveAndNotifyLocked(n);
     spin_.unlock();
     FreeList<Node>::Local().Put(n);
   }
@@ -94,12 +114,20 @@ class TreeRangeLock {
 
  private:
   Handle Acquire(const Range& r, bool reader) {
+    Handle out = nullptr;
+    AcquireWithDeadline(r, reader, Deadline::Infinite(), &out);
+    return out;
+  }
+
+  bool AcquireWithDeadline(const Range& r, bool reader, const Deadline& deadline,
+                           Handle* out) {
     assert(r.Valid());
     Node* n = FreeList<Node>::Local().Get();
     n->start = r.start;
     n->end = r.end;
     n->reader = reader;
     LockInternal();
+    n->seq = next_seq_++;
     int blockers = 0;
     tree_.ForEachOverlap(r.start, r.end, [&](Node* o) {
       if (!reader || !o->reader) {
@@ -109,11 +137,64 @@ class TreeRangeLock {
     n->blocking.store(blockers, std::memory_order_relaxed);
     tree_.Insert(n);
     spin_.unlock();
-    SpinWait spin;
+    DeadlineSpinner spinner(deadline);
     while (n->blocking.load(std::memory_order_acquire) > 0) {
-      spin.Spin();
+      if (!spinner.SpinOrExpire()) {
+        // Re-check under the lock: the decrement that admits us may have landed while
+        // we were reading the clock. Holding the lock freezes the count.
+        LockInternal();
+        if (n->blocking.load(std::memory_order_acquire) > 0) {
+          RemoveAndNotifyLocked(n);
+          spin_.unlock();
+          FreeList<Node>::Local().Put(n);
+          return false;
+        }
+        spin_.unlock();
+        break;
+      }
     }
-    return n;
+    *out = n;
+    return true;
+  }
+
+  bool TryAcquire(const Range& r, bool reader, Handle* out) {
+    assert(r.Valid());
+    Node* n = FreeList<Node>::Local().Get();
+    n->start = r.start;
+    n->end = r.end;
+    n->reader = reader;
+    LockInternal();
+    bool blocked = false;
+    tree_.ForEachOverlap(r.start, r.end, [&](Node* o) {
+      if (!reader || !o->reader) {
+        blocked = true;
+      }
+    });
+    if (blocked) {
+      spin_.unlock();
+      FreeList<Node>::Local().Put(n);
+      return false;
+    }
+    n->seq = next_seq_++;
+    n->blocking.store(0, std::memory_order_relaxed);
+    tree_.Insert(n);
+    spin_.unlock();
+    *out = n;
+    return true;
+  }
+
+  // Removes `n` and decrements the blocking count of every conflicting node that
+  // counted n at its own acquisition — exactly the later arrivals (o->seq > n->seq).
+  // For a release all conflicting survivors are later arrivals (earlier conflicting
+  // nodes must have left the tree for n to have been admitted), so the guard only
+  // changes behaviour for aborting waiters. Caller holds the internal spin lock.
+  void RemoveAndNotifyLocked(Node* n) {
+    tree_.Erase(n);
+    tree_.ForEachOverlap(n->start, n->end, [n](Node* o) {
+      if ((!n->reader || !o->reader) && o->seq > n->seq) {
+        o->blocking.fetch_sub(1, std::memory_order_release);
+      }
+    });
   }
 
   void LockInternal() {
@@ -128,6 +209,7 @@ class TreeRangeLock {
 
   SpinLock spin_;
   IntervalTree<Node> tree_;
+  uint64_t next_seq_ = 1;  // guarded by spin_
   WaitStats* spin_stats_ = nullptr;
 };
 

@@ -18,6 +18,7 @@
 #define SRL_CORE_FAIR_LIST_RANGE_LOCK_H_
 
 #include <atomic>
+#include <chrono>
 
 #include "src/core/list_range_lock.h"
 #include "src/core/list_rw_range_lock.h"
@@ -64,6 +65,15 @@ class FairListRangeLock {
     return h;
   }
 
+  // Non-blocking / timed acquisitions go straight to the inner lock, bypassing the
+  // fairness machinery: a try acquisition never waits, so it cannot starve, and making
+  // it queue behind impatient threads would turn "fail fast" into "block". This mirrors
+  // the kernel, where down_read_trylock ignores the waiter queue.
+  bool TryLock(const Range& range, Handle* out) { return inner_.TryLock(range, out); }
+  bool LockFor(const Range& range, std::chrono::nanoseconds timeout, Handle* out) {
+    return inner_.LockFor(range, timeout, out);
+  }
+
   void Unlock(Handle h) { inner_.Unlock(h); }
 
  private:
@@ -91,6 +101,21 @@ class FairListRwRangeLock {
 
   Handle LockRead(const Range& range) { return LockImpl(range, /*reader=*/true); }
   Handle LockWrite(const Range& range) { return LockImpl(range, /*reader=*/false); }
+
+  // See FairListRangeLock: try/timed acquisitions bypass the fairness layer.
+  bool TryLockRead(const Range& range, Handle* out) {
+    return inner_.TryLockRead(range, out);
+  }
+  bool TryLockWrite(const Range& range, Handle* out) {
+    return inner_.TryLockWrite(range, out);
+  }
+  bool LockReadFor(const Range& range, std::chrono::nanoseconds timeout, Handle* out) {
+    return inner_.LockReadFor(range, timeout, out);
+  }
+  bool LockWriteFor(const Range& range, std::chrono::nanoseconds timeout, Handle* out) {
+    return inner_.LockWriteFor(range, timeout, out);
+  }
+
   void Unlock(Handle h) { inner_.Unlock(h); }
 
  private:

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
@@ -27,6 +28,7 @@
 #include "src/core/range.h"
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/node_pool.h"
+#include "src/sync/deadline.h"
 #include "src/sync/pause.h"
 
 namespace srl {
@@ -65,8 +67,23 @@ class ListRangeLock {
   // be passed to Unlock() by the same logical owner (any thread may release it).
   Handle Lock(const Range& range) {
     Handle h = nullptr;
-    AcquireImpl(range, /*max_failures=*/-1, &h);
+    AcquireImpl(range, /*max_failures=*/-1, Deadline::Infinite(), &h);
     return h;
+  }
+
+  // Non-blocking acquisition (down_write_trylock semantics): fails the moment the range
+  // would have to wait for an overlapping holder. Lost insertion CASes are retried —
+  // they signal contention on the list structure, not a held conflicting range — so a
+  // TryLock of a range that conflicts with nothing held always succeeds.
+  bool TryLock(const Range& range, Handle* out) {
+    return AcquireImpl(range, /*max_failures=*/-1, Deadline::Immediate(), out);
+  }
+
+  // Timed acquisition: blocks like Lock() but gives up (returns false, no range held)
+  // once `timeout` has elapsed. The waiter aborts before ever entering the list, so an
+  // abandoned acquisition leaves no trace for other threads to clean up.
+  bool LockFor(const Range& range, std::chrono::nanoseconds timeout, Handle* out) {
+    return AcquireImpl(range, /*max_failures=*/-1, Deadline::After(timeout), out);
   }
 
   // Bounded-patience variant for the fairness layer: gives up (returns false, no range
@@ -74,7 +91,7 @@ class ListRangeLock {
   // (lost insertion CASes or forced traversal restarts). Waiting for an overlapping
   // holder does not count — that is ordinary blocking, not starvation.
   bool LockBounded(const Range& range, int max_failures, Handle* out) {
-    return AcquireImpl(range, max_failures, out);
+    return AcquireImpl(range, max_failures, Deadline::Infinite(), out);
   }
 
   // Releases an acquired range. Wait-free: one atomic fetch_add (plus a CAS attempt on
@@ -160,7 +177,8 @@ class ListRangeLock {
     return 0;
   }
 
-  bool AcquireImpl(const Range& range, int max_failures, Handle* out) {
+  bool AcquireImpl(const Range& range, int max_failures, const Deadline& deadline,
+                   Handle* out) {
     assert(range.Valid() && "range locks require start < end");
     LNode* node = NodePool<LNode>::Local().Alloc();
     node->start = range.start;
@@ -181,7 +199,7 @@ class ListRangeLock {
 
     EpochDomain::ThreadRec* rec = CurrentThreadRec(EpochDomain::Global());
     EpochDomain::Enter(rec);
-    const bool ok = InsertNode(node, rec, max_failures);
+    const bool ok = InsertNode(node, rec, max_failures, deadline);
     EpochDomain::Exit(rec);
     if (ok) {
       *out = node;
@@ -191,9 +209,19 @@ class ListRangeLock {
     return false;
   }
 
-  // Core of Listing 1. Returns false only if `max_failures` >= 0 was exhausted (the node
-  // is then guaranteed not to be in the list).
-  bool InsertNode(LNode* node, EpochDomain::ThreadRec* rec, int max_failures) {
+  // Outcome of one watch of a conflicting node.
+  enum class WaitResult {
+    kReleased,  // the conflicting node became marked; proceed
+    kRestart,   // cycled the epoch critical section; re-traverse from the head
+    kTimedOut,  // the deadline expired (or was immediate) with the conflict still held
+  };
+
+  // Core of Listing 1. Returns false only if `max_failures` >= 0 was exhausted or the
+  // deadline expired while a conflicting range was held (the node is then guaranteed not
+  // to be in the list — exclusive waiters abort *before* insertion, so an abandoned
+  // acquisition leaves nothing behind).
+  bool InsertNode(LNode* node, EpochDomain::ThreadRec* rec, int max_failures,
+                  const Deadline& deadline) {
     int failures = 0;
     for (;;) {
       std::atomic<uintptr_t>* prev = &head_;
@@ -239,7 +267,11 @@ class ListRangeLock {
             continue;
           }
           if (rel == 0) {
-            if (!WaitForRelease(cur, rec)) {
+            const WaitResult w = WaitForRelease(cur, rec, deadline);
+            if (w == WaitResult::kTimedOut) {
+              return false;
+            }
+            if (w == WaitResult::kRestart) {
               break;  // left the epoch CS while waiting; restart from head
             }
             continue;  // cur is now marked; the unlink branch above collects it
@@ -260,14 +292,23 @@ class ListRangeLock {
     }
   }
 
-  // Watches `cur` until its owner releases it. After kWatchSpins, briefly exits the
-  // epoch critical section (so reclamation barriers are never blocked behind an
-  // application critical section) and reports false, telling the caller to re-traverse.
-  // Returns true if cur became marked while watched.
-  bool WaitForRelease(const LNode* cur, EpochDomain::ThreadRec* rec) {
+  // Watches `cur` until its owner releases it or the deadline expires. After
+  // kWatchSpins, briefly exits the epoch critical section (so reclamation barriers are
+  // never blocked behind an application critical section) and reports kRestart, telling
+  // the caller to re-traverse. An immediate deadline never watches at all: the trylock
+  // contract is to fail as soon as a wait would begin.
+  WaitResult WaitForRelease(const LNode* cur, EpochDomain::ThreadRec* rec,
+                            const Deadline& deadline) {
+    if (deadline.IsImmediate()) {
+      return IsMarked(cur->next.load(std::memory_order_acquire)) ? WaitResult::kReleased
+                                                                 : WaitResult::kTimedOut;
+    }
     for (int i = 0; i < kWatchSpins; ++i) {
       if (IsMarked(cur->next.load(std::memory_order_acquire))) {
-        return true;
+        return WaitResult::kReleased;
+      }
+      if ((i + 1) % Deadline::kSpinsPerClockCheck == 0 && deadline.Expired()) {
+        return WaitResult::kTimedOut;
       }
       CpuRelax();
     }
@@ -276,7 +317,7 @@ class ListRangeLock {
     // may be preempted, and re-traversing in a tight loop would just burn our quantum.
     std::this_thread::yield();
     EpochDomain::Enter(rec);
-    return false;
+    return deadline.Expired() ? WaitResult::kTimedOut : WaitResult::kRestart;
   }
 
   std::atomic<uintptr_t> head_{0};

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
@@ -25,6 +26,7 @@
 #include "src/core/range.h"
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/node_pool.h"
+#include "src/sync/deadline.h"
 #include "src/sync/fence.h"
 #include "src/sync/pause.h"
 
@@ -59,24 +61,52 @@ class ListRwRangeLock {
   // Blocks until [range.start, range.end) is held in shared (read) mode.
   Handle LockRead(const Range& range) {
     Handle h = nullptr;
-    AcquireImpl(range, /*reader=*/true, /*max_failures=*/-1, &h);
+    AcquireImpl(range, /*reader=*/true, /*max_failures=*/-1, Deadline::Infinite(), &h);
     return h;
   }
 
   // Blocks until [range.start, range.end) is held in exclusive (write) mode.
   Handle LockWrite(const Range& range) {
     Handle h = nullptr;
-    AcquireImpl(range, /*reader=*/false, /*max_failures=*/-1, &h);
+    AcquireImpl(range, /*reader=*/false, /*max_failures=*/-1, Deadline::Infinite(), &h);
     return h;
+  }
+
+  // Non-blocking acquisitions (down_read_trylock / down_write_trylock semantics): fail
+  // the moment the acquisition would have to wait for a conflicting holder, or — for a
+  // writer — the moment its validation pass finds a conflicting node. A try acquisition
+  // of a range conflicting with nothing held always succeeds; failure under a transient
+  // in-flight conflict (e.g. a writer that is about to self-delete) is possible and
+  // allowed, exactly as for the kernel's trylocks.
+  bool TryLockRead(const Range& range, Handle* out) {
+    return AcquireImpl(range, /*reader=*/true, /*max_failures=*/-1,
+                       Deadline::Immediate(), out);
+  }
+  bool TryLockWrite(const Range& range, Handle* out) {
+    return AcquireImpl(range, /*reader=*/false, /*max_failures=*/-1,
+                       Deadline::Immediate(), out);
+  }
+
+  // Timed acquisitions: block like LockRead/LockWrite but give up once `timeout` has
+  // elapsed. A waiter that aborts before insertion leaves no trace; a reader that
+  // aborts *inside* its validation pass is already in the list and self-deletes (marks
+  // its own node) — later traversals unlink and reclaim it like any released range.
+  bool LockReadFor(const Range& range, std::chrono::nanoseconds timeout, Handle* out) {
+    return AcquireImpl(range, /*reader=*/true, /*max_failures=*/-1,
+                       Deadline::After(timeout), out);
+  }
+  bool LockWriteFor(const Range& range, std::chrono::nanoseconds timeout, Handle* out) {
+    return AcquireImpl(range, /*reader=*/false, /*max_failures=*/-1,
+                       Deadline::After(timeout), out);
   }
 
   // Bounded-patience variants for the fairness layer (§4.3). Failed writer validations
   // count as failures, as do lost CASes and forced restarts.
   bool LockReadBounded(const Range& range, int max_failures, Handle* out) {
-    return AcquireImpl(range, /*reader=*/true, max_failures, out);
+    return AcquireImpl(range, /*reader=*/true, max_failures, Deadline::Infinite(), out);
   }
   bool LockWriteBounded(const Range& range, int max_failures, Handle* out) {
-    return AcquireImpl(range, /*reader=*/false, max_failures, out);
+    return AcquireImpl(range, /*reader=*/false, max_failures, Deadline::Infinite(), out);
   }
 
   // Releases a range acquired in either mode.
@@ -120,6 +150,13 @@ class ListRwRangeLock {
   };
 
   // --- Test-only introspection (callers must guarantee quiescence) ---
+
+  // Times a timed reader expired inside r_validate and self-deleted its enqueued node.
+  // This branch is reachable only through the Figure-1 concurrent-insertion race, so
+  // tests use the counter to confirm a raced scenario actually drove it.
+  uint64_t DebugRValidateAborts() const {
+    return rvalidate_aborts_.load(std::memory_order_relaxed);
+  }
 
   int DebugHeldCount() const {
     int n = 0;
@@ -177,7 +214,8 @@ class ListRwRangeLock {
     return 0;
   }
 
-  bool AcquireImpl(const Range& range, bool reader, int max_failures, Handle* out) {
+  bool AcquireImpl(const Range& range, bool reader, int max_failures,
+                   const Deadline& deadline, Handle* out) {
     assert(range.Valid() && "range locks require start < end");
     EpochDomain::ThreadRec* rec = CurrentThreadRec(EpochDomain::Global());
     int failures = 0;
@@ -205,7 +243,7 @@ class ListRwRangeLock {
       }
 
       EpochDomain::Enter(rec);
-      const InsertResult res = InsertNode(node, rec, max_failures, &failures);
+      const InsertResult res = InsertNode(node, rec, max_failures, deadline, &failures);
       EpochDomain::Exit(rec);
       switch (res) {
         case InsertResult::kAcquired:
@@ -215,8 +253,15 @@ class ListRwRangeLock {
           NodePool<LNode>::Local().Recycle(node);  // never entered the list
           return false;
         case InsertResult::kValidationFailed:
+          // The node is already marked in-list; other traversals unlink it. A writer
+          // whose patience or deadline is exhausted stops here; a reader only reports
+          // kValidationFailed when its deadline expired mid-validation, so the
+          // Expired() check below is what terminates it.
           if (max_failures >= 0 && ++failures > max_failures) {
-            return false;  // node already marked in-list; others unlink it
+            return false;
+          }
+          if (deadline.Expired()) {
+            return false;
           }
           continue;  // retry with a fresh node
       }
@@ -225,8 +270,11 @@ class ListRwRangeLock {
 
   enum class InsertResult { kAcquired, kGaveUp, kValidationFailed };
 
+  // Outcome of one watch of a conflicting node.
+  enum class WaitResult { kReleased, kRestart, kTimedOut };
+
   InsertResult InsertNode(LNode* node, EpochDomain::ThreadRec* rec, int max_failures,
-                          int* failures) {
+                          const Deadline& deadline, int* failures) {
     for (;;) {
       std::atomic<uintptr_t>* prev = &head_;
       uintptr_t cur_word = prev->load(std::memory_order_acquire);
@@ -266,7 +314,11 @@ class ListRwRangeLock {
             continue;
           }
           if (rel == 0) {
-            if (!WaitForRelease(cur, rec)) {
+            const WaitResult w = WaitForRelease(cur, rec, deadline);
+            if (w == WaitResult::kTimedOut) {
+              return InsertResult::kGaveUp;  // pre-insertion: node never entered
+            }
+            if (w == WaitResult::kRestart) {
               break;  // epoch CS was cycled while waiting; restart from head
             }
             continue;
@@ -280,8 +332,8 @@ class ListRwRangeLock {
           // file comment): both sides cannot miss each other's nodes.
           SeqCstFence();
           if (node->reader) {
-            RValidate(node, rec);
-            return InsertResult::kAcquired;
+            return RValidate(node, rec, deadline) ? InsertResult::kAcquired
+                                                  : InsertResult::kValidationFailed;
           }
           return WValidate(node) ? InsertResult::kAcquired
                                  : InsertResult::kValidationFailed;
@@ -294,8 +346,11 @@ class ListRwRangeLock {
   }
 
   // Listing 3, r_validate: scan forward from our node; wait out any conflicting writer.
-  // Always succeeds (readers have priority over writers in this scheme).
-  void RValidate(LNode* node, EpochDomain::ThreadRec* rec) {
+  // Under a blocking deadline this always succeeds (readers have priority over writers
+  // in this scheme). Under an immediate or expired deadline the reader aborts instead of
+  // waiting: it is already enqueued, so it self-deletes — marks its own node exactly
+  // like a release would — and returns false; later traversals unlink and reclaim it.
+  bool RValidate(LNode* node, EpochDomain::ThreadRec* rec, const Deadline& deadline) {
     for (;;) {
       std::atomic<uintptr_t>* prev = &node->next;
       uintptr_t cur_word = Unmark(prev->load(std::memory_order_acquire));
@@ -305,7 +360,7 @@ class ListRwRangeLock {
         // Precise half-open overlap test; every node past our position has
         // start >= node->start, so start < node->end is the full overlap condition.
         if (cur == nullptr || cur->start >= node->end) {
-          return;
+          return true;
         }
         const uintptr_t cur_next = cur->next.load(std::memory_order_acquire);
         if (IsMarked(cur_next)) {
@@ -324,8 +379,16 @@ class ListRwRangeLock {
           continue;
         }
         // Conflicting writer: wait for it to release, then re-examine.
-        if (!WaitForRelease(cur, rec)) {
-          done = true;  // cycled the epoch CS; restart the scan from our own node
+        switch (WaitForRelease(cur, rec, deadline)) {
+          case WaitResult::kReleased:
+            break;
+          case WaitResult::kRestart:
+            done = true;  // cycled the epoch CS; restart the scan from our own node
+            break;
+          case WaitResult::kTimedOut:
+            node->next.fetch_add(kMarkBit, std::memory_order_release);
+            rvalidate_aborts_.fetch_add(1, std::memory_order_relaxed);
+            return false;
         }
       }
     }
@@ -372,10 +435,18 @@ class ListRwRangeLock {
     }
   }
 
-  bool WaitForRelease(const LNode* cur, EpochDomain::ThreadRec* rec) {
+  WaitResult WaitForRelease(const LNode* cur, EpochDomain::ThreadRec* rec,
+                            const Deadline& deadline) {
+    if (deadline.IsImmediate()) {
+      return IsMarked(cur->next.load(std::memory_order_acquire)) ? WaitResult::kReleased
+                                                                 : WaitResult::kTimedOut;
+    }
     for (int i = 0; i < kWatchSpins; ++i) {
       if (IsMarked(cur->next.load(std::memory_order_acquire))) {
-        return true;
+        return WaitResult::kReleased;
+      }
+      if ((i + 1) % Deadline::kSpinsPerClockCheck == 0 && deadline.Expired()) {
+        return WaitResult::kTimedOut;
       }
       CpuRelax();
     }
@@ -384,10 +455,11 @@ class ListRwRangeLock {
     // preempted holder can run instead of us re-traversing for a whole quantum.
     std::this_thread::yield();
     EpochDomain::Enter(rec);
-    return false;
+    return deadline.Expired() ? WaitResult::kTimedOut : WaitResult::kRestart;
   }
 
   std::atomic<uintptr_t> head_{0};
+  std::atomic<uint64_t> rvalidate_aborts_{0};  // see DebugRValidateAborts
   Options options_;
 };
 

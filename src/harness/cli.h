@@ -54,6 +54,10 @@ class Cli {
 
   bool GetBool(const std::string& name) const { return Has(name); }
 
+  // The harness-wide --json flag: path for the bench's machine-readable output (see
+  // BenchJson in table.h). Empty when not requested.
+  std::string JsonPath() const { return GetString("--json", ""); }
+
   // Comma-separated integer list, e.g. --threads=1,2,4,8.
   std::vector<int> GetIntList(const std::string& name, std::vector<int> def) const {
     const std::string v = GetString(name, "");
@@ -61,19 +65,35 @@ class Cli {
       return def;
     }
     std::vector<int> out;
+    for (const std::string& item : SplitCommas(v)) {
+      out.push_back(std::atoi(item.c_str()));
+    }
+    return out;
+  }
+
+  // Comma-separated string list, e.g. --variants=stock,list-refined.
+  std::vector<std::string> GetStringList(const std::string& name,
+                                         std::vector<std::string> def) const {
+    const std::string v = GetString(name, "");
+    return v.empty() ? def : SplitCommas(v);
+  }
+
+ private:
+  static std::vector<std::string> SplitCommas(const std::string& v) {
+    std::vector<std::string> out;
     std::size_t pos = 0;
-    while (pos < v.size()) {
-      out.push_back(std::atoi(v.c_str() + pos));
+    while (pos < v.size()) {  // a trailing comma yields no empty tail element
       const std::size_t comma = v.find(',', pos);
       if (comma == std::string::npos) {
+        out.push_back(v.substr(pos));
         break;
       }
+      out.push_back(v.substr(pos, comma - pos));
       pos = comma + 1;
     }
     return out;
   }
 
- private:
   std::vector<std::string> args_;
 };
 

@@ -7,16 +7,26 @@
 //     using Handle = ...;
 //     static constexpr bool kSharedReaders;   // readers of overlapping ranges coexist
 //     static constexpr bool kPrecise;         // disjoint ranges never serialize
+//     static constexpr bool kUsesNodePool;    // handles are NodePool<LNode> nodes
 //     static const char* Name();
 //     Handle AcquireRead(const Range&);
 //     Handle AcquireWrite(const Range&);
+//     bool TryAcquireRead(const Range&, Handle*);    // non-blocking; false = not held
+//     bool TryAcquireWrite(const Range&, Handle*);
+//     bool AcquireReadFor(const Range&, std::chrono::nanoseconds, Handle*);
+//     bool AcquireWriteFor(const Range&, std::chrono::nanoseconds, Handle*);
 //     void Release(Handle);
 //   };
 //
 // Exclusive locks serve reads as writes (kSharedReaders == false), mirroring how the
-// paper benchmarks lustre-ex / list-ex in read workloads.
+// paper benchmarks lustre-ex / list-ex in read workloads. The try/timed contract: for a
+// kPrecise lock, TryAcquire* of a range conflicting with nothing held succeeds; for any
+// lock, TryAcquire* of a range conflicting with a held acquisition fails without
+// blocking, and a failed try/timed acquisition holds nothing (no Release needed).
 #ifndef SRL_HARNESS_LOCK_ADAPTERS_H_
 #define SRL_HARNESS_LOCK_ADAPTERS_H_
+
+#include <chrono>
 
 #include "src/baselines/segment_range_lock.h"
 #include "src/baselines/tree_range_lock.h"
@@ -33,10 +43,19 @@ struct ListExAdapter {
   using Handle = ListRangeLock::Handle;
   static constexpr bool kSharedReaders = false;
   static constexpr bool kPrecise = true;
+  static constexpr bool kUsesNodePool = true;
   static const char* Name() { return "list-ex"; }
 
   Handle AcquireRead(const Range& r) { return lock.Lock(r); }
   Handle AcquireWrite(const Range& r) { return lock.Lock(r); }
+  bool TryAcquireRead(const Range& r, Handle* out) { return lock.TryLock(r, out); }
+  bool TryAcquireWrite(const Range& r, Handle* out) { return lock.TryLock(r, out); }
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockFor(r, t, out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockFor(r, t, out);
+  }
   void Release(Handle h) { lock.Unlock(h); }
 
   ListRangeLock lock;
@@ -47,12 +66,21 @@ struct ListExFastPathAdapter {
   using Handle = ListRangeLock::Handle;
   static constexpr bool kSharedReaders = false;
   static constexpr bool kPrecise = true;
+  static constexpr bool kUsesNodePool = true;
   static const char* Name() { return "list-ex-fp"; }
 
   ListExFastPathAdapter() : lock(ListRangeLock::Options{.enable_fast_path = true}) {}
 
   Handle AcquireRead(const Range& r) { return lock.Lock(r); }
   Handle AcquireWrite(const Range& r) { return lock.Lock(r); }
+  bool TryAcquireRead(const Range& r, Handle* out) { return lock.TryLock(r, out); }
+  bool TryAcquireWrite(const Range& r, Handle* out) { return lock.TryLock(r, out); }
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockFor(r, t, out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockFor(r, t, out);
+  }
   void Release(Handle h) { lock.Unlock(h); }
 
   ListRangeLock lock;
@@ -63,10 +91,19 @@ struct ListRwAdapter {
   using Handle = ListRwRangeLock::Handle;
   static constexpr bool kSharedReaders = true;
   static constexpr bool kPrecise = true;
+  static constexpr bool kUsesNodePool = true;
   static const char* Name() { return "list-rw"; }
 
   Handle AcquireRead(const Range& r) { return lock.LockRead(r); }
   Handle AcquireWrite(const Range& r) { return lock.LockWrite(r); }
+  bool TryAcquireRead(const Range& r, Handle* out) { return lock.TryLockRead(r, out); }
+  bool TryAcquireWrite(const Range& r, Handle* out) { return lock.TryLockWrite(r, out); }
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockReadFor(r, t, out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockWriteFor(r, t, out);
+  }
   void Release(Handle h) { lock.Unlock(h); }
 
   ListRwRangeLock lock;
@@ -77,12 +114,21 @@ struct ListRwFastPathAdapter {
   using Handle = ListRwRangeLock::Handle;
   static constexpr bool kSharedReaders = true;
   static constexpr bool kPrecise = true;
+  static constexpr bool kUsesNodePool = true;
   static const char* Name() { return "list-rw-fp"; }
 
   ListRwFastPathAdapter() : lock(ListRwRangeLock::Options{.enable_fast_path = true}) {}
 
   Handle AcquireRead(const Range& r) { return lock.LockRead(r); }
   Handle AcquireWrite(const Range& r) { return lock.LockWrite(r); }
+  bool TryAcquireRead(const Range& r, Handle* out) { return lock.TryLockRead(r, out); }
+  bool TryAcquireWrite(const Range& r, Handle* out) { return lock.TryLockWrite(r, out); }
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockReadFor(r, t, out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockWriteFor(r, t, out);
+  }
   void Release(Handle h) { lock.Unlock(h); }
 
   ListRwRangeLock lock;
@@ -93,10 +139,19 @@ struct FairListExAdapter {
   using Handle = FairListRangeLock::Handle;
   static constexpr bool kSharedReaders = false;
   static constexpr bool kPrecise = true;
+  static constexpr bool kUsesNodePool = true;
   static const char* Name() { return "list-ex-fair"; }
 
   Handle AcquireRead(const Range& r) { return lock.Lock(r); }
   Handle AcquireWrite(const Range& r) { return lock.Lock(r); }
+  bool TryAcquireRead(const Range& r, Handle* out) { return lock.TryLock(r, out); }
+  bool TryAcquireWrite(const Range& r, Handle* out) { return lock.TryLock(r, out); }
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockFor(r, t, out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockFor(r, t, out);
+  }
   void Release(Handle h) { lock.Unlock(h); }
 
   FairListRangeLock lock;
@@ -107,10 +162,19 @@ struct FairListRwAdapter {
   using Handle = FairListRwRangeLock::Handle;
   static constexpr bool kSharedReaders = true;
   static constexpr bool kPrecise = true;
+  static constexpr bool kUsesNodePool = true;
   static const char* Name() { return "list-rw-fair"; }
 
   Handle AcquireRead(const Range& r) { return lock.LockRead(r); }
   Handle AcquireWrite(const Range& r) { return lock.LockWrite(r); }
+  bool TryAcquireRead(const Range& r, Handle* out) { return lock.TryLockRead(r, out); }
+  bool TryAcquireWrite(const Range& r, Handle* out) { return lock.TryLockWrite(r, out); }
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockReadFor(r, t, out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockWriteFor(r, t, out);
+  }
   void Release(Handle h) { lock.Unlock(h); }
 
   FairListRwRangeLock lock;
@@ -121,10 +185,23 @@ struct TreeExAdapter {
   using Handle = TreeRangeLock::Handle;
   static constexpr bool kSharedReaders = false;
   static constexpr bool kPrecise = true;
+  static constexpr bool kUsesNodePool = false;
   static const char* Name() { return "lustre-ex"; }
 
   Handle AcquireRead(const Range& r) { return lock.AcquireWrite(r); }
   Handle AcquireWrite(const Range& r) { return lock.AcquireWrite(r); }
+  bool TryAcquireRead(const Range& r, Handle* out) {
+    return lock.TryAcquireWrite(r, out);
+  }
+  bool TryAcquireWrite(const Range& r, Handle* out) {
+    return lock.TryAcquireWrite(r, out);
+  }
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.AcquireWriteFor(r, t, out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.AcquireWriteFor(r, t, out);
+  }
   void Release(Handle h) { lock.Release(h); }
 
   TreeRangeLock lock;
@@ -135,10 +212,21 @@ struct TreeRwAdapter {
   using Handle = TreeRangeLock::Handle;
   static constexpr bool kSharedReaders = true;
   static constexpr bool kPrecise = true;
+  static constexpr bool kUsesNodePool = false;
   static const char* Name() { return "kernel-rw"; }
 
   Handle AcquireRead(const Range& r) { return lock.AcquireRead(r); }
   Handle AcquireWrite(const Range& r) { return lock.AcquireWrite(r); }
+  bool TryAcquireRead(const Range& r, Handle* out) { return lock.TryAcquireRead(r, out); }
+  bool TryAcquireWrite(const Range& r, Handle* out) {
+    return lock.TryAcquireWrite(r, out);
+  }
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.AcquireReadFor(r, t, out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.AcquireWriteFor(r, t, out);
+  }
   void Release(Handle h) { lock.Release(h); }
 
   TreeRangeLock lock;
@@ -150,12 +238,23 @@ struct SegmentRwAdapter {
   using Handle = SegmentRangeLock::Handle;
   static constexpr bool kSharedReaders = true;
   static constexpr bool kPrecise = false;
+  static constexpr bool kUsesNodePool = false;
   static const char* Name() { return "pnova-rw"; }
 
   SegmentRwAdapter() : lock(/*universe_end=*/1024, /*num_segments=*/64) {}
 
   Handle AcquireRead(const Range& r) { return lock.AcquireRead(r); }
   Handle AcquireWrite(const Range& r) { return lock.AcquireWrite(r); }
+  bool TryAcquireRead(const Range& r, Handle* out) { return lock.TryAcquireRead(r, out); }
+  bool TryAcquireWrite(const Range& r, Handle* out) {
+    return lock.TryAcquireWrite(r, out);
+  }
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.AcquireReadFor(r, t, out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.AcquireWriteFor(r, t, out);
+  }
   void Release(Handle h) { lock.Release(h); }
 
   SegmentRangeLock lock;
@@ -169,6 +268,7 @@ struct RwSemAdapter {
   };
   static constexpr bool kSharedReaders = true;
   static constexpr bool kPrecise = false;
+  static constexpr bool kUsesNodePool = false;
   static const char* Name() { return "stock-rwsem"; }
 
   Handle AcquireRead(const Range&) {
@@ -178,6 +278,34 @@ struct RwSemAdapter {
   Handle AcquireWrite(const Range&) {
     sem.lock();
     return Handle{false};
+  }
+  bool TryAcquireRead(const Range&, Handle* out) {
+    if (!sem.try_lock_shared()) {
+      return false;
+    }
+    *out = Handle{true};
+    return true;
+  }
+  bool TryAcquireWrite(const Range&, Handle* out) {
+    if (!sem.try_lock()) {
+      return false;
+    }
+    *out = Handle{false};
+    return true;
+  }
+  bool AcquireReadFor(const Range&, std::chrono::nanoseconds t, Handle* out) {
+    if (!sem.try_lock_shared_for(t)) {
+      return false;
+    }
+    *out = Handle{true};
+    return true;
+  }
+  bool AcquireWriteFor(const Range&, std::chrono::nanoseconds t, Handle* out) {
+    if (!sem.try_lock_for(t)) {
+      return false;
+    }
+    *out = Handle{false};
+    return true;
   }
   void Release(Handle h) {
     if (h.reader) {

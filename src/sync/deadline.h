@@ -1,0 +1,112 @@
+// Deadline — the one argument every non-blocking acquisition path threads through.
+//
+// A range-lock acquisition can run in three patience regimes:
+//   * blocking   (Deadline::Infinite)   — wait as long as it takes; never expires;
+//   * immediate  (Deadline::Immediate)  — the trylock contract: fail the moment an
+//                                         acquisition would have to wait for a holder;
+//   * timed      (Deadline::After(d))   — wait, but give up once `d` has elapsed.
+//
+// Representing all three as one value keeps the lock implementations free of
+// per-variant code paths: wait loops ask Expired() and otherwise proceed as if
+// blocking. Expired() is free for the infinite and immediate cases; for timed
+// deadlines it reads the steady clock, so wait loops should poll it every few
+// hundred spins (see kSpinsPerClockCheck), not every iteration.
+#ifndef SRL_SYNC_DEADLINE_H_
+#define SRL_SYNC_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/sync/spin_wait.h"
+
+namespace srl {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Blocking: never expires.
+  static Deadline Infinite() { return Deadline(Kind::kInfinite, {}); }
+
+  // Trylock: already expired — any wait fails instantly.
+  static Deadline Immediate() { return Deadline(Kind::kImmediate, {}); }
+
+  // Timed: expires `timeout` from now (clamped to non-negative).
+  static Deadline After(std::chrono::nanoseconds timeout) {
+    if (timeout <= std::chrono::nanoseconds::zero()) {
+      return Immediate();
+    }
+    return Deadline(Kind::kTimed, Clock::now() + timeout);
+  }
+
+  bool IsInfinite() const { return kind_ == Kind::kInfinite; }
+  bool IsImmediate() const { return kind_ == Kind::kImmediate; }
+
+  bool Expired() const {
+    switch (kind_) {
+      case Kind::kInfinite:
+        return false;
+      case Kind::kImmediate:
+        return true;
+      case Kind::kTimed:
+        return Clock::now() >= when_;
+    }
+    return false;
+  }
+
+  // Reading the clock on every spin of a wait loop would dominate the wait itself;
+  // checking once per this many iterations bounds timed-wait overshoot to a few
+  // microseconds while keeping the hot path clock-free.
+  static constexpr int kSpinsPerClockCheck = 256;
+
+ private:
+  enum class Kind : uint8_t { kInfinite, kImmediate, kTimed };
+
+  Deadline(Kind kind, Clock::time_point when) : kind_(kind), when_(when) {}
+
+  Kind kind_;
+  Clock::time_point when_;
+};
+
+// The one deadline-bounded wait loop, shared by every polling waiter:
+//
+//   DeadlineSpinner spinner(deadline);
+//   do {
+//     if (<try the acquisition>) return true;
+//   } while (spinner.SpinOrExpire());
+//   return false;   // deadline expired
+//
+// SpinOrExpire() burns one SpinWait iteration and polls the clock at a rate matched to
+// the iteration cost: every kSpinsPerClockCheck iterations while CpuRelax-spinning
+// (where a clock read would dominate), but every iteration once SpinWait has switched
+// to yielding — there each iteration is already a syscall, and batching checks across
+// yields would let a short timed wait overshoot by whole scheduler quanta. An immediate
+// deadline expires before the first spin, so the loop above degenerates to one try.
+class DeadlineSpinner {
+ public:
+  // The deadline is captured by reference and must outlive the spinner (callers keep
+  // it on their stack for the whole wait).
+  explicit DeadlineSpinner(const Deadline& deadline) : deadline_(deadline) {}
+
+  bool SpinOrExpire() {
+    if (deadline_.IsImmediate()) {
+      return false;
+    }
+    const bool check_clock =
+        spin_.Yielding() || ++spins_ % Deadline::kSpinsPerClockCheck == 0;
+    if (check_clock && deadline_.Expired()) {
+      return false;
+    }
+    spin_.Spin();
+    return true;
+  }
+
+ private:
+  const Deadline& deadline_;
+  SpinWait spin_;
+  uint64_t spins_ = 0;
+};
+
+}  // namespace srl
+
+#endif  // SRL_SYNC_DEADLINE_H_

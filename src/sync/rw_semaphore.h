@@ -14,8 +14,10 @@
 #define SRL_SYNC_RW_SEMAPHORE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
+#include "src/sync/deadline.h"
 #include "src/sync/pause.h"
 
 namespace srl {
@@ -52,6 +54,73 @@ class RwSemaphore {
         writers_waiting_.wait(ww, std::memory_order_relaxed);
       }
     }
+  }
+
+  // down_read_trylock: one shot at joining the reader count. Fails under an active
+  // writer; also defers to queued writers (unlike the kernel's trylock, which steals) so
+  // the writer-preference invariant of lock_shared holds for every reader admission
+  // path. Spurious failure under reader-reader contention is not possible: the CAS
+  // retries while no writer is active or queued.
+  bool try_lock_shared() {
+    uint32_t s = state_.load(std::memory_order_relaxed);
+    for (;;) {
+      if ((s & kWriterBit) != 0 ||
+          writers_waiting_.load(std::memory_order_relaxed) != 0) {
+        return false;
+      }
+      if (state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  // down_write_trylock: succeeds only when the semaphore is completely free.
+  bool try_lock() {
+    uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriterBit,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  // Timed variants. std::atomic::wait has no timeout, so timed waiters poll with
+  // SpinWait (spin-then-yield) instead of sleeping on the futex; they are intended for
+  // bounded waits in the milliseconds range, not as a general condition variable.
+  bool try_lock_shared_for(std::chrono::nanoseconds timeout) {
+    const Deadline deadline = Deadline::After(timeout);
+    DeadlineSpinner spinner(deadline);
+    do {
+      if (try_lock_shared()) {
+        return true;
+      }
+    } while (spinner.SpinOrExpire());
+    return false;
+  }
+
+  bool try_lock_for(std::chrono::nanoseconds timeout) {
+    const Deadline deadline = Deadline::After(timeout);
+    if (deadline.IsImmediate()) {
+      return try_lock();  // zero timeout: no queueing, no spinning
+    }
+    // Register as a queued writer for the duration of the poll, exactly like lock():
+    // without this, a continuous reader stream keeps state_ nonzero forever and the
+    // timed writer burns its whole timeout that a blocking lock() would have cut off
+    // by holding new readers at the door.
+    writers_waiting_.fetch_add(1, std::memory_order_seq_cst);
+    DeadlineSpinner spinner(deadline);
+    bool acquired = false;
+    do {
+      uint32_t expected = 0;
+      if (state_.compare_exchange_weak(expected, kWriterBit, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        acquired = true;
+        break;
+      }
+    } while (spinner.SpinOrExpire());
+    // Dequeue and wake readers held off by our presence in the queue (see lock()).
+    writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+    writers_waiting_.notify_all();
+    return acquired;
   }
 
   void unlock_shared() {

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/sync/deadline.h"
 #include "src/sync/spin_wait.h"
 
 namespace srl {
@@ -43,6 +44,28 @@ class RwSpinLock {
                                           std::memory_order_relaxed);
   }
 
+  // Deadline-bounded lock_shared with the *same* admission policy as the blocking
+  // loop — in particular it defers to queued writers, so a stream of timed readers
+  // cannot starve a registered writer the way raw try_lock_shared polling would.
+  bool lock_shared_until(const Deadline& deadline) {
+    DeadlineSpinner spinner(deadline);
+    do {
+      if (writers_waiting_.load(std::memory_order_relaxed) == 0) {
+        // Retry the CAS while admission still holds: a weak CAS may fail spuriously
+        // (LL/SC), and an immediate deadline gets exactly one pass through this loop —
+        // it must not report failure on an uncontended segment.
+        uint32_t s = state_.load(std::memory_order_relaxed);
+        while ((s & kWriterBit) == 0) {
+          if (state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+            return true;
+          }
+        }
+      }
+    } while (spinner.SpinOrExpire());
+    return false;
+  }
+
   void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
 
   void lock() {
@@ -63,6 +86,28 @@ class RwSpinLock {
     uint32_t expected = 0;
     return state_.compare_exchange_strong(expected, kWriterBit, std::memory_order_acquire,
                                           std::memory_order_relaxed);
+  }
+
+  // Deadline-bounded lock(): registers in writers_waiting_ for the duration of the
+  // wait, exactly like the blocking loop, so new readers hold off while this writer
+  // polls instead of admitting past it until its timeout burns out.
+  bool lock_until(const Deadline& deadline) {
+    if (deadline.IsImmediate()) {
+      return try_lock();  // no queueing for a single attempt
+    }
+    writers_waiting_.fetch_add(1, std::memory_order_relaxed);
+    DeadlineSpinner spinner(deadline);
+    bool acquired = false;
+    do {
+      uint32_t expected = 0;
+      if (state_.compare_exchange_weak(expected, kWriterBit, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        acquired = true;
+        break;
+      }
+    } while (spinner.SpinOrExpire());
+    writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+    return acquired;
   }
 
   void unlock() { state_.store(0, std::memory_order_release); }

@@ -32,6 +32,11 @@ class SpinWait {
 
   void Reset() { count_ = 0; }
 
+  // True once Spin() has switched from CpuRelax to yielding. Wait loops that batch
+  // expensive checks (e.g. deadline clock reads) across spins should stop batching
+  // here: each further iteration already costs a syscall.
+  bool Yielding() const { return count_ >= kSpinsBeforeYield; }
+
  private:
   // Long enough that a cache-to-cache handoff never yields; short enough that a
   // preempted holder costs one scheduler quantum, not many.

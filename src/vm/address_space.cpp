@@ -323,7 +323,16 @@ bool AddressSpace::PageFault(uint64_t addr, bool is_write) {
   stats_.faults.fetch_add(1, std::memory_order_relaxed);
   const uint64_t page_addr = PageDown(addr);
   const Range r = refine_fault_ ? Range{page_addr, page_addr + kPageSize} : Range::Full();
-  void* h = lock_->LockRead(r);
+  // Trylock-first, mirroring the kernel fault path (do_user_addr_fault does
+  // mmap_read_trylock before it will ever sleep): the uncontended fault never blocks,
+  // and the contended one falls back to the ordinary blocking acquisition.
+  void* h = nullptr;
+  if (lock_->TryLockRead(r, &h)) {
+    stats_.fault_try_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.fault_try_fallback.fetch_add(1, std::memory_order_relaxed);
+    h = lock_->LockRead(r);
+  }
   Vma* vma = FindVma(addr);
   bool ok = vma != nullptr && vma->Start() <= addr;
   if (ok) {

@@ -17,6 +17,20 @@ class StockVmLock final : public VmLock {
     sem_.lock();
     return this;
   }
+  bool DoTryLockRead(const Range&, void** out) override {
+    if (!sem_.try_lock_shared()) {
+      return false;
+    }
+    *out = this;
+    return true;
+  }
+  bool DoTryLockWrite(const Range&, void** out) override {
+    if (!sem_.try_lock()) {
+      return false;
+    }
+    *out = this;
+    return true;
+  }
   void DoUnlockRead(void*) override { sem_.unlock_shared(); }
   void DoUnlockWrite(void*) override { sem_.unlock(); }
 
@@ -33,6 +47,22 @@ class TreeVmLock final : public VmLock {
  protected:
   void* DoLockRead(const Range& r) override { return lock_.AcquireRead(r); }
   void* DoLockWrite(const Range& r) override { return lock_.AcquireWrite(r); }
+  bool DoTryLockRead(const Range& r, void** out) override {
+    TreeRangeLock::Handle h = nullptr;
+    if (!lock_.TryAcquireRead(r, &h)) {
+      return false;
+    }
+    *out = h;
+    return true;
+  }
+  bool DoTryLockWrite(const Range& r, void** out) override {
+    TreeRangeLock::Handle h = nullptr;
+    if (!lock_.TryAcquireWrite(r, &h)) {
+      return false;
+    }
+    *out = h;
+    return true;
+  }
   void DoUnlockRead(void* h) override { lock_.Release(static_cast<TreeRangeLock::Handle>(h)); }
   void DoUnlockWrite(void* h) override { lock_.Release(static_cast<TreeRangeLock::Handle>(h)); }
 
@@ -47,6 +77,22 @@ class ListVmLock final : public VmLock {
  protected:
   void* DoLockRead(const Range& r) override { return lock_.LockRead(r); }
   void* DoLockWrite(const Range& r) override { return lock_.LockWrite(r); }
+  bool DoTryLockRead(const Range& r, void** out) override {
+    ListRwRangeLock::Handle h = nullptr;
+    if (!lock_.TryLockRead(r, &h)) {
+      return false;
+    }
+    *out = h;
+    return true;
+  }
+  bool DoTryLockWrite(const Range& r, void** out) override {
+    ListRwRangeLock::Handle h = nullptr;
+    if (!lock_.TryLockWrite(r, &h)) {
+      return false;
+    }
+    *out = h;
+    return true;
+  }
   void DoUnlockRead(void* h) override { lock_.Unlock(static_cast<ListRwRangeLock::Handle>(h)); }
   void DoUnlockWrite(void* h) override { lock_.Unlock(static_cast<ListRwRangeLock::Handle>(h)); }
 

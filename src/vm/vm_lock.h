@@ -55,6 +55,35 @@ class VmLock {
 
   void* LockFullWrite() { return LockWrite(Range::Full()); }
 
+  // Non-blocking acquisitions (mmap_read_trylock and friends). On success *out holds
+  // the handle; on failure nothing is held and *out is untouched. A *successful* try is
+  // recorded in the WaitStats sink like any other acquisition (its ~0ns sample keeps
+  // Figure 7 a per-acquisition distribution now that the fault path is trylock-first);
+  // a failed try records nothing — the blocking fallback that follows it measures the
+  // actual wait.
+  bool TryLockRead(const Range& r, void** out) {
+    if (stats_ == nullptr) {
+      return DoTryLockRead(r, out);
+    }
+    const uint64_t t0 = WaitStats::NowNs();
+    if (!DoTryLockRead(r, out)) {
+      return false;
+    }
+    stats_->RecordRead(WaitStats::NowNs() - t0);
+    return true;
+  }
+  bool TryLockWrite(const Range& r, void** out) {
+    if (stats_ == nullptr) {
+      return DoTryLockWrite(r, out);
+    }
+    const uint64_t t0 = WaitStats::NowNs();
+    if (!DoTryLockWrite(r, out)) {
+      return false;
+    }
+    stats_->RecordWrite(WaitStats::NowNs() - t0);
+    return true;
+  }
+
   void UnlockRead(void* h) { DoUnlockRead(h); }
   void UnlockWrite(void* h) { DoUnlockWrite(h); }
 
@@ -69,6 +98,8 @@ class VmLock {
  protected:
   virtual void* DoLockRead(const Range& r) = 0;
   virtual void* DoLockWrite(const Range& r) = 0;
+  virtual bool DoTryLockRead(const Range& r, void** out) = 0;
+  virtual bool DoTryLockWrite(const Range& r, void** out) = 0;
   virtual void DoUnlockRead(void* h) = 0;
   virtual void DoUnlockWrite(void* h) = 0;
 

@@ -18,10 +18,22 @@ struct VmStats {
   std::atomic<uint64_t> faults{0};
   std::atomic<uint64_t> major_faults{0};   // page actually installed
   std::atomic<uint64_t> fault_errors{0};   // unmapped address or protection violation
+  std::atomic<uint64_t> fault_try_ok{0};        // fault admitted by the trylock fast path
+  std::atomic<uint64_t> fault_try_fallback{0};  // trylock failed; blocked on the read lock
   std::atomic<uint64_t> spec_success{0};   // mprotect completed on the speculative path
   std::atomic<uint64_t> spec_retries{0};   // seq/boundary validation failed, retried
   std::atomic<uint64_t> spec_fallback{0};  // structural change forced the full path
   std::atomic<uint64_t> unmap_lookup_fastpath{0};  // munmap resolved under a read lock
+
+  // Fraction of page faults admitted without blocking — what bench/abl_trylock sweeps.
+  double FaultTrySuccessRate() const {
+    const uint64_t ok = fault_try_ok.load(std::memory_order_relaxed);
+    const uint64_t fb = fault_try_fallback.load(std::memory_order_relaxed);
+    if (ok + fb == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(ok) / static_cast<double>(ok + fb);
+  }
 
   double SpeculationSuccessRate() const {
     const uint64_t total = mprotects.load(std::memory_order_relaxed);

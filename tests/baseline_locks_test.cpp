@@ -210,6 +210,61 @@ TEST(SegmentRangeLockTest, FalseSharingWithinSegment) {
   EXPECT_TRUE(in.load());
 }
 
+// The timed acquisition forms keep the per-segment RwSpinLock's writer preference: a
+// blocking writer that has queued holds off timed readers, so polling readers cannot
+// starve it — the mirror of RwSemaphoreTest.TimedWriterGetsPreferenceOverNewReaders.
+TEST(SegmentRangeLockTest, TimedReadersDeferToQueuedWriter) {
+  SegmentRangeLock lock(1024, 16);
+  auto r = lock.AcquireRead({0, 8});
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    auto h = lock.AcquireWrite({0, 8});
+    writer_done.store(true);
+    lock.Release(h);
+  });
+  // Once the writer has queued on segment 0, a timed read of the same segment fails
+  // fast instead of being admitted past it. (A probe that does get in lets go again.)
+  EXPECT_TRUE(EventuallyTrue([&] {
+    SegmentRangeLock::Handle h;
+    if (lock.AcquireReadFor({0, 8}, 0ms, &h)) {
+      lock.Release(h);
+      return false;
+    }
+    return true;
+  }));
+  EXPECT_FALSE(writer_done.load());
+  lock.Release(r);  // last reader leaves; the queued writer must admit
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+}
+
+// A timed writer registers while it polls, so a reader stream cannot keep admitting
+// past it for its whole timeout.
+TEST(SegmentRangeLockTest, TimedWriterGetsPreferenceOverNewReaders) {
+  SegmentRangeLock lock(1024, 16);
+  auto r = lock.AcquireRead({0, 8});
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    SegmentRangeLock::Handle h;
+    if (lock.AcquireWriteFor({0, 8}, 60s, &h)) {
+      writer_done.store(true);
+      lock.Release(h);
+    }
+  });
+  EXPECT_TRUE(EventuallyTrue([&] {
+    SegmentRangeLock::Handle h;
+    if (lock.TryAcquireRead({0, 8}, &h)) {
+      lock.Release(h);
+      return false;
+    }
+    return true;
+  }));
+  EXPECT_FALSE(writer_done.load());
+  lock.Release(r);
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+}
+
 TEST(SegmentRangeLockTest, StressNoDeadlockMixedWidths) {
   SegmentRangeLock lock(1024, 16);
   constexpr uint64_t kUniverse = 1024;

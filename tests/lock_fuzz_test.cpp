@@ -1,0 +1,187 @@
+// Randomized oracle fuzz battery over every lock adapter (CTest label: stress).
+//
+// Two complementary fuzzers:
+//   * MixedModeVsOracle — several threads drive a seeded mix of blocking, try and timed
+//     acquisitions; every successful acquisition enters the RangeOracle, so any
+//     exclusion violation (a trylock "succeeding" into a held conflicting range, an
+//     aborted waiter leaving a phantom hold, ...) latches and fails the test.
+//   * SingleThreadTryExactness — with one thread the try outcome is deterministic for
+//     precise locks: success iff the requested range conflicts with nothing held. The
+//     fuzzer keeps a bag of held ranges and checks every try outcome against the
+//     model's answer exactly.
+//
+// All randomness flows from the kSeeds table through per-thread Xoshiro256 streams, and
+// every assertion carries the seed, so a failure reproduces by rerunning the binary.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/lock_adapters.h"
+#include "src/harness/prng.h"
+#include "tests/common/range_oracle.h"
+
+namespace srl {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr uint64_t kSeeds[] = {0x5eed0001, 0x5eed0002};
+
+template <typename Adapter>
+class LockFuzzTest : public ::testing::Test {};
+
+using AllLocks =
+    ::testing::Types<ListExAdapter, ListExFastPathAdapter, ListRwAdapter,
+                     ListRwFastPathAdapter, FairListExAdapter, FairListRwAdapter,
+                     TreeExAdapter, TreeRwAdapter, SegmentRwAdapter, RwSemAdapter>;
+
+class LockNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    std::string name = T::Name();
+    for (char& c : name) {
+      if (c == '-') {
+        c = '_';
+      }
+    }
+    return name;
+  }
+};
+
+TYPED_TEST_SUITE(LockFuzzTest, AllLocks, LockNames);
+
+TYPED_TEST(LockFuzzTest, MixedModeVsOracle) {
+  constexpr uint64_t kUniverse = 64;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 800;
+  for (const uint64_t seed : kSeeds) {
+    TypeParam adapter;
+    testing::RangeOracle oracle(kUniverse);
+    std::atomic<uint64_t> try_successes{0};
+    std::atomic<uint64_t> try_failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Xoshiro256 rng(seed ^ (0x9e3779b9u * static_cast<uint64_t>(t + 1)));
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          uint64_t a = rng.NextBelow(kUniverse);
+          uint64_t b = rng.NextBelow(kUniverse);
+          if (a > b) {
+            std::swap(a, b);
+          }
+          const Range r{a, b + 1};
+          const bool write = rng.NextChance(0.4);
+          const uint64_t mode = rng.NextBelow(10);
+          typename TypeParam::Handle h{};
+          bool held = false;
+          if (mode < 4) {  // blocking
+            h = write ? adapter.AcquireWrite(r) : adapter.AcquireRead(r);
+            held = true;
+          } else if (mode < 7) {  // try
+            held = write ? adapter.TryAcquireWrite(r, &h)
+                         : adapter.TryAcquireRead(r, &h);
+            (held ? try_successes : try_failures).fetch_add(1,
+                                                            std::memory_order_relaxed);
+          } else {  // timed, 0–100us
+            const auto timeout =
+                std::chrono::microseconds(rng.NextBelow(100));
+            held = write ? adapter.AcquireWriteFor(r, timeout, &h)
+                         : adapter.AcquireReadFor(r, timeout, &h);
+          }
+          if (held) {
+            if (write || !TypeParam::kSharedReaders) {
+              oracle.EnterWrite(r);
+              oracle.ExitWrite(r);
+            } else {
+              oracle.EnterRead(r);
+              oracle.ExitRead(r);
+            }
+            adapter.Release(h);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    EXPECT_FALSE(oracle.Violated()) << "seed=0x" << std::hex << seed;
+    EXPECT_TRUE(oracle.Quiescent()) << "seed=0x" << std::hex << seed;
+    // Sanity: the try mix must actually exercise both outcomes being possible; a lock
+    // whose trylock always fails (or a fuzzer that never tries) tests nothing.
+    EXPECT_GT(try_successes.load(), 0u) << "seed=0x" << std::hex << seed;
+  }
+}
+
+TYPED_TEST(LockFuzzTest, SingleThreadTryExactness) {
+  if (!TypeParam::kPrecise) {
+    GTEST_SKIP() << "coarse-grained locks may fail try acquisitions spuriously";
+  }
+  constexpr uint64_t kUniverse = 64;
+  constexpr int kOps = 4000;
+  struct Held {
+    Range r;
+    bool write;
+    typename TypeParam::Handle h;
+  };
+  for (const uint64_t seed : kSeeds) {
+    TypeParam adapter;
+    std::vector<Held> held;
+    Xoshiro256 rng(seed * 0xc0ffee + 1);
+    int expected_failures = 0;
+    for (int i = 0; i < kOps; ++i) {
+      if (!held.empty() && (held.size() >= 8 || rng.NextChance(0.4))) {
+        const std::size_t idx = rng.NextBelow(held.size());
+        adapter.Release(held[idx].h);
+        held[idx] = held.back();
+        held.pop_back();
+        continue;
+      }
+      uint64_t a = rng.NextBelow(kUniverse);
+      const Range r{a, a + 1 + rng.NextBelow(12)};
+      const bool write = rng.NextChance(0.5);
+      // Model: conflict iff overlapping a held range and at least one side writes
+      // (for exclusive-only locks every acquisition writes).
+      bool conflict = false;
+      for (const Held& x : held) {
+        const bool overlap = x.r.start < r.end && r.start < x.r.end;
+        const bool both_read =
+            TypeParam::kSharedReaders && !write && !x.write;
+        if (overlap && !both_read) {
+          conflict = true;
+          break;
+        }
+      }
+      typename TypeParam::Handle h{};
+      bool got;
+      if (rng.NextChance(0.25)) {  // sprinkle timed acquisitions in
+        const auto timeout = conflict ? 300us : 50ms;
+        got = write ? adapter.AcquireWriteFor(r, timeout, &h)
+                    : adapter.AcquireReadFor(r, timeout, &h);
+      } else {
+        got = write ? adapter.TryAcquireWrite(r, &h)
+                    : adapter.TryAcquireRead(r, &h);
+      }
+      ASSERT_EQ(got, !conflict)
+          << "seed=0x" << std::hex << seed << std::dec << " op=" << i << " range=["
+          << r.start << "," << r.end << ") write=" << write;
+      if (got) {
+        held.push_back({r, write, h});
+      } else {
+        ++expected_failures;
+      }
+    }
+    for (const Held& x : held) {
+      adapter.Release(x.h);
+    }
+    EXPECT_GT(expected_failures, 0) << "seed=0x" << std::hex << seed;
+  }
+}
+
+}  // namespace
+}  // namespace srl

@@ -13,6 +13,7 @@
 #include "src/sync/seq_counter.h"
 #include "src/sync/spin_lock.h"
 #include "src/sync/ticket_lock.h"
+#include "tests/common/test_clock.h"
 
 namespace srl {
 namespace {
@@ -243,6 +244,61 @@ TEST(RwSemaphoreTest, BlockedReaderWakesUp) {
   sem.unlock();
   reader.join();
   EXPECT_TRUE(reader_done.load());
+}
+
+TEST(RwSemaphoreTest, TryLockRespectsHolders) {
+  RwSemaphore sem;
+  sem.lock_shared();
+  EXPECT_TRUE(sem.try_lock_shared());  // readers share
+  sem.unlock_shared();
+  EXPECT_FALSE(sem.try_lock());  // reader blocks writer
+  sem.unlock_shared();
+  ASSERT_TRUE(sem.try_lock());
+  EXPECT_FALSE(sem.try_lock_shared());  // writer blocks reader
+  EXPECT_FALSE(sem.try_lock());
+  sem.unlock();
+}
+
+// A polling timed writer must assert writer preference exactly like a blocking one:
+// while it waits, new readers are held off, so an active reader stream cannot starve
+// it for its whole timeout.
+TEST(RwSemaphoreTest, TimedWriterGetsPreferenceOverNewReaders) {
+  RwSemaphore sem;
+  sem.lock_shared();
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    if (sem.try_lock_for(60s)) {
+      writer_done.store(true);
+      sem.unlock();
+    }
+  });
+  // Once the timed writer has queued, a fresh reader may no longer enter. (A probe
+  // that does get in must let go again, or its count would block the writer forever.)
+  EXPECT_TRUE(testing::EventuallyTrue([&] {
+    if (sem.try_lock_shared()) {
+      sem.unlock_shared();
+      return false;
+    }
+    return true;
+  }));
+  EXPECT_FALSE(writer_done.load());
+  sem.unlock_shared();  // last reader leaves; the timed writer must admit
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+}
+
+TEST(RwSemaphoreTest, TimedAcquisitionsTimeOutAgainstConflicts) {
+  RwSemaphore sem;
+  sem.lock_shared();
+  EXPECT_FALSE(sem.try_lock_for(5ms));  // reader blocks writer
+  sem.unlock_shared();
+  sem.lock();
+  EXPECT_FALSE(sem.try_lock_shared_for(5ms));  // writer blocks reader
+  EXPECT_FALSE(sem.try_lock_for(5ms));
+  sem.unlock();
+  // Failed timed forms hold nothing; the semaphore is fully free afterwards.
+  EXPECT_TRUE(sem.try_lock());
+  sem.unlock();
 }
 
 TEST(SeqCounterTest, BumpAdvances) {

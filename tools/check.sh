@@ -8,6 +8,10 @@
 #
 # The sanitizer passes run the concurrency-heavy lock tests (not the full suite) to keep
 # wall-clock sane under the ~10x sanitizer slowdown; the plain pass runs everything.
+# CTest labels split the tiers further: `unit` tests run under every configuration, but
+# `stress` tests (the randomized fuzz battery) run only in plain and TSan — their value
+# under a sanitizer is catching data races, which is TSan's job; repeating them under
+# ASan+UBSan would double the slowest part of the matrix for little coverage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,7 +22,7 @@ CONFIGS=("${@:-plain thread address}")
 read -r -a CONFIGS <<<"${CONFIGS[*]}"
 
 # Lock-free hot paths + the sync substrate: what TSan/ASan must stay clean on.
-SANITIZED_TESTS='ListRangeLock|ListRwRangeLock|FairList|LockConformance|Epoch|Sync|SpinLock|TicketLock|RwSpinLock|FairRwLock|RwSemaphore|TreeRangeLock|SegmentRangeLock|RangeOracle'
+SANITIZED_TESTS='ListRangeLock|ListRwRangeLock|FairList|LockConformance|LockFuzz|Epoch|Sync|SpinLock|TicketLock|RwSpinLock|FairRwLock|RwSemaphore|TreeRangeLock|SegmentRangeLock|RangeOracle'
 
 run_config() {
   local config="$1"
@@ -39,12 +43,16 @@ run_config() {
   echo "=== [$config] test ==="
   if [[ "$config" == plain ]]; then
     ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
-  else
+  elif [[ "$config" == thread ]]; then
     # Sanitizers must abort the test process on any finding, not just log it.
     TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" -R "$SANITIZED_TESTS"
+  else
+    # ASan+UBSan: unit tier only (-LE stress); see the header comment.
     ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
     UBSAN_OPTIONS="halt_on_error=1" \
-      ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" -R "$SANITIZED_TESTS"
+      ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" \
+        -R "$SANITIZED_TESTS" -LE stress
   fi
 }
 
