@@ -1,0 +1,145 @@
+// Ablation — range-scoped structural operations (this repo's extension past §5.2):
+// disjoint-arena mmap/munmap churn with concurrent fault readers.
+//
+// The paper refines page faults and metadata-only mprotects down to their argument
+// range but leaves every structural operation holding a full-range write acquisition,
+// so one mmap/munmap-heavy thread still collapses all concurrency. The scoped variants
+// (kTreeScoped/kListScoped) write-lock only the affected range; this bench isolates
+// what that buys on the workload it targets.
+//
+// Setup: `threads` churn workers each loop { mmap a few pages; write-fault the first;
+// munmap } — the cursor allocator makes every scratch region disjoint, so under the
+// scoped variants the write acquisitions never conflict. `--readers` fault threads
+// touch uniformly random pages of a shared `--pages`-page mapping throughout. Under a
+// full-range variant each churn op serializes against the whole address space (and
+// blocks every fault); scoped churn proceeds in parallel.
+//
+// Reported per variant: churn cycles/sec, fault throughput, the scoped-structural rate
+// (VmStats), and the ranged vs full write-acquisition split (VmLock counters).
+//
+// Flags: --variants=stock,tree-full,tree-scoped,list-full,list-refined,list-scoped
+//        --threads=1,2,4,8  --readers=2  --secs=0.25  --repeats=1  --pages=512
+//        --scratch-pages=4  --csv  --json=BENCH_scoped_structural.json
+#include <atomic>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/harness/cli.h"
+#include "src/harness/prng.h"
+#include "src/harness/table.h"
+#include "src/harness/throughput_runner.h"
+#include "src/vm/address_space.h"
+
+namespace srl {
+namespace {
+
+using vm::AddressSpace;
+using vm::VmVariant;
+
+struct RunResult {
+  Summary churn_per_sec;
+  double faults_per_sec = 0.0;
+  double scoped_rate = 0.0;       // fraction of structural ops that stayed scoped
+  uint64_t ranged_writes = 0;     // write acquisitions on a proper sub-range
+  uint64_t full_writes = 0;       // write acquisitions on Range::Full()
+};
+
+RunResult RunOne(VmVariant variant, int churners, int readers, double secs, int repeats,
+                 uint64_t pages, uint64_t scratch_pages) {
+  AddressSpace as(variant);
+  const uint64_t base = as.Mmap(pages * AddressSpace::kPageSize,
+                                vm::kProtRead | vm::kProtWrite);
+  std::atomic<uint64_t> fault_ops{0};
+  // Worker tids [0, churners) churn; the rest fault. Only churn cycles count as ops,
+  // so the Summary is churn throughput; fault throughput is derived from the atomic.
+  const Summary s = MeasureThroughputRepeated(
+      churners + readers, secs, repeats, [&](int tid, std::atomic<bool>& stop) {
+        uint64_t ops = 0;
+        if (tid < churners) {
+          while (!stop.load(std::memory_order_relaxed)) {
+            const uint64_t scratch = as.Mmap(
+                scratch_pages * AddressSpace::kPageSize, vm::kProtRead | vm::kProtWrite);
+            as.PageFault(scratch, true);
+            as.Munmap(scratch, scratch_pages * AddressSpace::kPageSize);
+            ++ops;
+          }
+          return ops;
+        }
+        Xoshiro256 rng(0x5c0bed + static_cast<uint64_t>(tid));
+        uint64_t faults = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          as.PageFault(base + rng.NextBelow(pages) * AddressSpace::kPageSize,
+                       rng.NextChance(0.3));
+          ++faults;
+        }
+        fault_ops.fetch_add(faults, std::memory_order_relaxed);
+        return uint64_t{0};
+      });
+  RunResult r;
+  r.churn_per_sec = s;
+  r.faults_per_sec =
+      static_cast<double>(fault_ops.load(std::memory_order_relaxed)) / (secs * repeats);
+  r.scoped_rate = as.Stats().ScopedStructuralRate();
+  r.ranged_writes = as.Lock().RangedWriteAcquisitions();
+  r.full_writes = as.Lock().FullWriteAcquisitions();
+  return r;
+}
+
+}  // namespace
+}  // namespace srl
+
+int main(int argc, char** argv) {
+  srl::Cli cli(argc, argv);
+  if (cli.Has("--help")) {
+    std::cout << "abl_scoped_structural --variants=stock,tree-full,tree-scoped,"
+                 "list-full,list-refined,list-scoped --threads=1,2,4,8 --readers=2 "
+                 "--secs=0.25 --repeats=1 --pages=512 --scratch-pages=4 --csv "
+                 "--json=BENCH_scoped_structural.json\n";
+    return 0;
+  }
+  const std::vector<int> threads = cli.GetIntList("--threads", {1, 2, 4, 8});
+  const int readers = static_cast<int>(cli.GetInt("--readers", 2));
+  const double secs = cli.GetDouble("--secs", 0.25);
+  const int repeats = static_cast<int>(cli.GetInt("--repeats", 1));
+  const uint64_t pages = static_cast<uint64_t>(cli.GetInt("--pages", 512));
+  const uint64_t scratch_pages =
+      static_cast<uint64_t>(cli.GetInt("--scratch-pages", 4));
+  const bool csv = cli.GetBool("--csv");
+
+  const std::vector<std::string> names = cli.GetStringList(
+      "--variants", {"stock", "tree-full", "tree-scoped", "list-full", "list-refined",
+                     "list-scoped"});
+
+  std::cout << "\n=== range-scoped structural ops — disjoint-arena mmap/munmap churn "
+               "with fault readers ===\n";
+  srl::Table table({"variant", "threads", "churn/sec", "rel-stddev%", "faults/sec",
+                    "scoped%", "ranged-writes", "full-writes"});
+  for (const std::string& name : names) {
+    bool ok = false;
+    const srl::vm::VmVariant variant = srl::vm::VmVariantFromName(name, &ok);
+    if (!ok) {
+      std::cerr << "unknown variant: " << name << "\n";
+      return 2;
+    }
+    for (int t : threads) {
+      const srl::RunResult r =
+          srl::RunOne(variant, t, readers, secs, repeats, pages, scratch_pages);
+      table.AddRow({name, std::to_string(t), srl::Table::Num(r.churn_per_sec.mean, 0),
+                    srl::Table::Num(r.churn_per_sec.RelStddevPct(), 1),
+                    srl::Table::Num(r.faults_per_sec, 0),
+                    srl::Table::Num(r.scoped_rate * 100.0, 2),
+                    std::to_string(r.ranged_writes), std::to_string(r.full_writes)});
+    }
+  }
+  table.Print(std::cout, csv);
+
+  srl::BenchJson json("abl_scoped_structural");
+  json.AddTable({{"readers", std::to_string(readers)},
+                 {"pages", std::to_string(pages)},
+                 {"scratch_pages", std::to_string(scratch_pages)},
+                 {"secs", srl::Table::Num(secs, 3)},
+                 {"repeats", std::to_string(repeats)}},
+                table);
+  return json.Write(cli.JsonPath()) ? 0 : 1;
+}

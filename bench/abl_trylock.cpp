@@ -76,22 +76,6 @@ RunResult RunOne(VmVariant variant, int fault_threads, double secs, int repeats,
   return r;
 }
 
-// Reverse of vm::VmVariantName, so the flag parser and the enum can never drift: any
-// variant the VM layer names (including the Figure 6 breakdown ones) is accepted here.
-VmVariant VariantFromName(const std::string& name, bool* ok) {
-  for (const VmVariant v :
-       {VmVariant::kStock, VmVariant::kTreeFull, VmVariant::kTreeRefined,
-        VmVariant::kListFull, VmVariant::kListRefined, VmVariant::kListPf,
-        VmVariant::kListMprotect}) {
-    if (name == VmVariantName(v)) {
-      *ok = true;
-      return v;
-    }
-  }
-  *ok = false;
-  return VmVariant::kStock;
-}
-
 }  // namespace
 }  // namespace srl
 
@@ -119,7 +103,7 @@ int main(int argc, char** argv) {
       {"variant", "threads", "faults/sec", "rel-stddev%", "try-success%", "churn-cycles"});
   for (const std::string& name : names) {
     bool ok = false;
-    const srl::vm::VmVariant variant = srl::VariantFromName(name, &ok);
+    const srl::vm::VmVariant variant = srl::vm::VmVariantFromName(name, &ok);
     if (!ok) {
       std::cerr << "unknown variant: " << name << "\n";
       return 2;

@@ -1,7 +1,9 @@
 // Figure 5 — Metis runtime (§7.2): wr, wc, wrmem runtime (lower is better) as the
-// thread count grows, for stock / tree-full / tree-refined / list-full / list-refined.
+// thread count grows, for stock / tree-full / tree-refined / list-full / list-refined,
+// plus the range-scoped structural variants (tree-scoped / list-scoped) this repo adds.
 //
 // Flags: --threads=1,2,4,8  --total-kb=768  --rounds=6  --repeats=1  --csv
+//        --json=BENCH_fig5.json
 #include <iostream>
 #include <string>
 #include <vector>
@@ -13,7 +15,7 @@
 namespace srl::bench {
 namespace {
 
-void RunApp(metis::MetisApp app, const Cli& cli) {
+void RunApp(metis::MetisApp app, const Cli& cli, BenchJson* json) {
   const std::vector<int> threads = cli.GetIntList("--threads", {1, 2, 4, 8});
   const int repeats = static_cast<int>(cli.GetInt("--repeats", 1));
   const bool csv = cli.GetBool("--csv");
@@ -23,7 +25,8 @@ void RunApp(metis::MetisApp app, const Cli& cli) {
   Table table({"variant", "threads", "runtime_s", "rel-stddev%", "spec-rate%"});
   for (vm::VmVariant variant :
        {vm::VmVariant::kStock, vm::VmVariant::kTreeFull, vm::VmVariant::kTreeRefined,
-        vm::VmVariant::kListFull, vm::VmVariant::kListRefined}) {
+        vm::VmVariant::kListFull, vm::VmVariant::kListRefined,
+        vm::VmVariant::kTreeScoped, vm::VmVariant::kListScoped}) {
     for (int t : threads) {
       std::vector<double> secs;
       double spec = 0;
@@ -44,6 +47,11 @@ void RunApp(metis::MetisApp app, const Cli& cli) {
     }
   }
   table.Print(std::cout, csv);
+  json->AddTable({{"app", metis::MetisAppName(app)},
+                  {"total_kb", std::to_string(cli.GetInt("--total-kb", 768))},
+                  {"rounds", std::to_string(cli.GetInt("--rounds", 6))},
+                  {"repeats", std::to_string(repeats)}},
+                 table);
 }
 
 }  // namespace
@@ -53,12 +61,13 @@ int main(int argc, char** argv) {
   srl::Cli cli(argc, argv);
   if (cli.Has("--help")) {
     std::cout << "fig5_metis --threads=1,2,4,8 --total-kb=768 --rounds=6 --repeats=1 "
-                 "--csv\n";
+                 "--csv --json=BENCH_fig5.json\n";
     return 0;
   }
+  srl::BenchJson json("fig5_metis");
   for (srl::metis::MetisApp app : {srl::metis::MetisApp::kWr, srl::metis::MetisApp::kWc,
                                    srl::metis::MetisApp::kWrmem}) {
-    srl::bench::RunApp(app, cli);
+    srl::bench::RunApp(app, cli, &json);
   }
-  return 0;
+  return json.Write(cli.JsonPath()) ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 // Figure 6 — breakdown of the impact of range refinement on the list-based variants
 // (§7.2): list-full vs list-pf (refined page faults only) vs list-mprotect
-// (speculative mprotect only) vs list-refined (both).
+// (speculative mprotect only) vs list-refined (both) vs list-scoped (both + range-scoped
+// structural ops, this repo's extension).
 //
 // Flags: --threads=1,2,4,8  --total-kb=768  --rounds=6  --repeats=1  --csv
+//        --json=BENCH_fig6.json
 #include <iostream>
 #include <string>
 #include <vector>
@@ -14,7 +16,7 @@
 namespace srl::bench {
 namespace {
 
-void RunApp(metis::MetisApp app, const Cli& cli) {
+void RunApp(metis::MetisApp app, const Cli& cli, BenchJson* json) {
   const std::vector<int> threads = cli.GetIntList("--threads", {1, 2, 4, 8});
   const int repeats = static_cast<int>(cli.GetInt("--repeats", 1));
   const bool csv = cli.GetBool("--csv");
@@ -22,8 +24,9 @@ void RunApp(metis::MetisApp app, const Cli& cli) {
   std::cout << "\n=== Figure 6 (" << metis::MetisAppName(app)
             << ") — refinement breakdown, runtime seconds ===\n";
   Table table({"variant", "threads", "runtime_s", "rel-stddev%"});
-  for (vm::VmVariant variant : {vm::VmVariant::kListFull, vm::VmVariant::kListPf,
-                                vm::VmVariant::kListMprotect, vm::VmVariant::kListRefined}) {
+  for (vm::VmVariant variant :
+       {vm::VmVariant::kListFull, vm::VmVariant::kListPf, vm::VmVariant::kListMprotect,
+        vm::VmVariant::kListRefined, vm::VmVariant::kListScoped}) {
     for (int t : threads) {
       std::vector<double> secs;
       for (int r = 0; r < repeats; ++r) {
@@ -41,6 +44,11 @@ void RunApp(metis::MetisApp app, const Cli& cli) {
     }
   }
   table.Print(std::cout, csv);
+  json->AddTable({{"app", metis::MetisAppName(app)},
+                  {"total_kb", std::to_string(cli.GetInt("--total-kb", 768))},
+                  {"rounds", std::to_string(cli.GetInt("--rounds", 6))},
+                  {"repeats", std::to_string(repeats)}},
+                 table);
 }
 
 }  // namespace
@@ -50,12 +58,13 @@ int main(int argc, char** argv) {
   srl::Cli cli(argc, argv);
   if (cli.Has("--help")) {
     std::cout << "fig6_refinement --threads=1,2,4,8 --total-kb=768 --rounds=6 "
-                 "--repeats=1 --csv\n";
+                 "--repeats=1 --csv --json=BENCH_fig6.json\n";
     return 0;
   }
+  srl::BenchJson json("fig6_refinement");
   for (srl::metis::MetisApp app : {srl::metis::MetisApp::kWr, srl::metis::MetisApp::kWc,
                                    srl::metis::MetisApp::kWrmem}) {
-    srl::bench::RunApp(app, cli);
+    srl::bench::RunApp(app, cli, &json);
   }
-  return 0;
+  return json.Write(cli.JsonPath()) ? 0 : 1;
 }

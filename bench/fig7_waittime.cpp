@@ -1,8 +1,10 @@
 // Figure 7 — average wait time for mmap_sem / the range lock (§7.2), read vs write
 // acquisitions, collected lock_stat-style (note the probe effect: wait instrumentation
-// is only enabled for this bench, as the paper does with lock_stat).
+// is only enabled for this bench, as the paper does with lock_stat). The scoped
+// variants ride along so the write-wait collapse from range-scoping structural ops is
+// visible in the same units.
 //
-// Flags: --threads=1,2,4,8  --total-kb=768  --rounds=6  --csv
+// Flags: --threads=1,2,4,8  --total-kb=768  --rounds=6  --csv  --json=BENCH_fig7.json
 #include <iostream>
 #include <string>
 #include <vector>
@@ -13,7 +15,7 @@
 namespace srl::bench {
 namespace {
 
-void RunApp(metis::MetisApp app, const Cli& cli) {
+void RunApp(metis::MetisApp app, const Cli& cli, BenchJson* json) {
   const std::vector<int> threads = cli.GetIntList("--threads", {1, 2, 4, 8});
   const bool csv = cli.GetBool("--csv");
 
@@ -22,7 +24,8 @@ void RunApp(metis::MetisApp app, const Cli& cli) {
   Table table({"variant", "threads", "read_wait_us", "write_wait_us", "reads", "writes"});
   for (vm::VmVariant variant :
        {vm::VmVariant::kStock, vm::VmVariant::kTreeFull, vm::VmVariant::kTreeRefined,
-        vm::VmVariant::kListFull, vm::VmVariant::kListRefined}) {
+        vm::VmVariant::kListFull, vm::VmVariant::kListRefined,
+        vm::VmVariant::kTreeScoped, vm::VmVariant::kListScoped}) {
     for (int t : threads) {
       const MetisRun run = RunMetisOnce(variant, ConfigFromCli(cli, app, t),
                                         /*collect_wait_stats=*/true,
@@ -38,6 +41,11 @@ void RunApp(metis::MetisApp app, const Cli& cli) {
     }
   }
   table.Print(std::cout, csv);
+  json->AddTable({{"app", metis::MetisAppName(app)},
+                  {"total_kb", std::to_string(cli.GetInt("--total-kb", 768))},
+                  {"rounds", std::to_string(cli.GetInt("--rounds", 6))},
+                  {"repeats", "1"}},
+                 table);
 }
 
 }  // namespace
@@ -46,12 +54,14 @@ void RunApp(metis::MetisApp app, const Cli& cli) {
 int main(int argc, char** argv) {
   srl::Cli cli(argc, argv);
   if (cli.Has("--help")) {
-    std::cout << "fig7_waittime --threads=1,2,4,8 --total-kb=768 --rounds=6 --csv\n";
+    std::cout << "fig7_waittime --threads=1,2,4,8 --total-kb=768 --rounds=6 --csv "
+                 "--json=BENCH_fig7.json\n";
     return 0;
   }
+  srl::BenchJson json("fig7_waittime");
   for (srl::metis::MetisApp app : {srl::metis::MetisApp::kWr, srl::metis::MetisApp::kWc,
                                    srl::metis::MetisApp::kWrmem}) {
-    srl::bench::RunApp(app, cli);
+    srl::bench::RunApp(app, cli, &json);
   }
-  return 0;
+  return json.Write(cli.JsonPath()) ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #ifndef SRL_RBTREE_RB_TREE_H_
 #define SRL_RBTREE_RB_TREE_H_
 
+#include <atomic>
 #include <cstddef>
 
 namespace srl {
@@ -27,6 +28,37 @@ struct RbNoAugment {
   static void Update(NodeT*) {}
 };
 
+// Drop-in atomic link field for nodes of trees that are *walked optimistically* while a
+// serialized writer rotates them (mm_rb under range-scoped structural ops). Behaves like
+// a plain NodeT* in the tree code (assignment, conversion, ->); every access is a
+// tear-free atomic, so a concurrent walk reads garbage-consistent pointers rather than
+// racing — a seqlock around mutations (see VmaIndex) tells the walker whether it
+// overlapped one and must retry. Nodes with plain pointer links pay nothing; nodes that
+// opt in declare their rb_parent/rb_left/rb_right as RbAtomicLink<NodeT>.
+template <typename NodeT>
+class RbAtomicLink {
+ public:
+  RbAtomicLink() = default;
+  RbAtomicLink(NodeT* p) : p_(p) {}
+  RbAtomicLink(const RbAtomicLink&) = delete;
+
+  RbAtomicLink& operator=(NodeT* p) {
+    p_.store(p, std::memory_order_release);
+    return *this;
+  }
+  // Link-to-link assignment (tree surgery like `x->rb_left = y->rb_right`): a single
+  // load then a single store — writers are serialized, so this never races a writer.
+  RbAtomicLink& operator=(const RbAtomicLink& other) {
+    p_.store(other.p_.load(std::memory_order_acquire), std::memory_order_release);
+    return *this;
+  }
+  operator NodeT*() const { return p_.load(std::memory_order_acquire); }
+  NodeT* operator->() const { return p_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<NodeT*> p_{nullptr};
+};
+
 template <typename NodeT, typename Traits>
 class RbTree {
  public:
@@ -34,23 +66,31 @@ class RbTree {
   RbTree(const RbTree&) = delete;
   RbTree& operator=(const RbTree&) = delete;
 
-  bool Empty() const { return root_ == nullptr; }
+  bool Empty() const { return GetRoot() == nullptr; }
   std::size_t Size() const { return size_; }
-  NodeT* Root() const { return root_; }
+  NodeT* Root() const { return GetRoot(); }
 
   // Links `n` into the tree. `n` must not currently be in any tree.
   void Insert(NodeT* n) {
     n->rb_left = nullptr;
     n->rb_right = nullptr;
     NodeT* parent = nullptr;
-    NodeT** link = &root_;
-    while (*link != nullptr) {
-      parent = *link;
-      link = Traits::Less(*n, *parent) ? &parent->rb_left : &parent->rb_right;
+    bool went_left = false;
+    for (NodeT* cur = GetRoot(); cur != nullptr;) {
+      parent = cur;
+      went_left = Traits::Less(*n, *cur);
+      cur = went_left ? static_cast<NodeT*>(cur->rb_left)
+                      : static_cast<NodeT*>(cur->rb_right);
     }
     n->rb_parent = parent;
     n->rb_red = true;
-    *link = n;
+    if (parent == nullptr) {
+      SetRoot(n);
+    } else if (went_left) {
+      parent->rb_left = n;
+    } else {
+      parent->rb_right = n;
+    }
     for (NodeT* p = n; p != nullptr; p = p->rb_parent) {
       Traits::Update(p);
     }
@@ -101,14 +141,15 @@ class RbTree {
   }
 
   NodeT* First() const {
-    if (root_ == nullptr) {
+    NodeT* r = GetRoot();
+    if (r == nullptr) {
       return nullptr;
     }
-    return Minimum(root_);
+    return Minimum(r);
   }
 
   NodeT* Last() const {
-    NodeT* n = root_;
+    NodeT* n = GetRoot();
     if (n == nullptr) {
       return nullptr;
     }
@@ -152,17 +193,23 @@ class RbTree {
   // Checks the red-black invariants: root black, no red node with a red child, equal
   // black height on every path, correct parent links, BST order.
   bool ValidateStructure() const {
-    if (root_ == nullptr) {
+    NodeT* r = GetRoot();
+    if (r == nullptr) {
       return size_ == 0;
     }
-    if (root_->rb_red || root_->rb_parent != nullptr) {
+    if (r->rb_red || r->rb_parent != nullptr) {
       return false;
     }
     std::size_t count = 0;
-    return ValidateSubtree(root_, &count) >= 0 && count == size_;
+    return ValidateSubtree(r, &count) >= 0 && count == size_;
   }
 
  private:
+  // The root is accessed through acquire/release so optimistic walkers starting at
+  // Root() see a coherent pointer while a serialized writer rebalances.
+  NodeT* GetRoot() const { return root_.load(std::memory_order_acquire); }
+  void SetRoot(NodeT* n) { root_.store(n, std::memory_order_release); }
+
   static NodeT* Minimum(NodeT* n) {
     while (n->rb_left != nullptr) {
       n = n->rb_left;
@@ -174,7 +221,7 @@ class RbTree {
 
   void Transplant(NodeT* u, NodeT* v) {
     if (u->rb_parent == nullptr) {
-      root_ = v;
+      SetRoot(v);
     } else if (u == u->rb_parent->rb_left) {
       u->rb_parent->rb_left = v;
     } else {
@@ -193,7 +240,7 @@ class RbTree {
     }
     y->rb_parent = x->rb_parent;
     if (x->rb_parent == nullptr) {
-      root_ = y;
+      SetRoot(y);
     } else if (x == x->rb_parent->rb_left) {
       x->rb_parent->rb_left = y;
     } else {
@@ -213,7 +260,7 @@ class RbTree {
     }
     y->rb_parent = x->rb_parent;
     if (x->rb_parent == nullptr) {
-      root_ = y;
+      SetRoot(y);
     } else if (x == x->rb_parent->rb_right) {
       x->rb_parent->rb_right = y;
     } else {
@@ -265,11 +312,11 @@ class RbTree {
         }
       }
     }
-    root_->rb_red = false;
+    GetRoot()->rb_red = false;
   }
 
   void EraseFixup(NodeT* x, NodeT* x_parent) {
-    while (x != root_ && !IsRed(x)) {
+    while (x != GetRoot() && !IsRed(x)) {
       if (x == x_parent->rb_left) {
         NodeT* w = x_parent->rb_right;  // sibling; exists since x is doubly-black
         if (IsRed(w)) {
@@ -295,7 +342,7 @@ class RbTree {
             w->rb_right->rb_red = false;
           }
           RotateLeft(x_parent);
-          x = root_;
+          x = GetRoot();
           x_parent = nullptr;
         }
       } else {
@@ -323,7 +370,7 @@ class RbTree {
             w->rb_left->rb_red = false;
           }
           RotateRight(x_parent);
-          x = root_;
+          x = GetRoot();
           x_parent = nullptr;
         }
       }
@@ -359,7 +406,7 @@ class RbTree {
     return lh + (n->rb_red ? 0 : 1);
   }
 
-  NodeT* root_ = nullptr;
+  std::atomic<NodeT*> root_{nullptr};
   std::size_t size_ = 0;
 };
 

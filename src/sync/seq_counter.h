@@ -1,13 +1,33 @@
-// Monotonic sequence counter used by the speculative mprotect mechanism (§5.2).
+// Monotonic sequence counter / seqlock used by the speculative VM protocols (§5.2).
 //
-// The VM subsystem bumps this counter every time a full-range write acquisition of the
-// range lock is released; speculating operations snapshot it to detect that mm_rb may have
-// changed between their read-locked lookup and their refined write acquisition (Listing 4).
+// Two usage patterns share this type:
+//
+//   * Plain counter (Read/Bump): the VM subsystem historically bumped it on every
+//     full-range write release; speculating operations snapshot it to detect that mm_rb
+//     may have changed between their read-locked lookup and their refined write
+//     acquisition (Listing 4).
+//
+//   * Seqlock (BeginWrite/EndWrite + ReadBegin/Validate): structural mutators wrap their
+//     mutation in a write section (counter odd while a mutation is in flight); optimistic
+//     readers snapshot an even value before walking shared structure and re-validate
+//     afterwards, retrying when a mutation overlapped the walk. This is what lets
+//     VmaIndex::FindOptimistic run correctly without excluding concurrent out-of-range
+//     structural writers.
+//
+// Memory-model notes (Boehm, "Can seqlocks get along with programming language memory
+// models?"): the write section opens with an acq_rel RMW and closes with a release RMW;
+// readers begin with an acquire load (so the walk's loads cannot hoist above the
+// snapshot) and validate behind an acquire fence (so they cannot sink below it). All
+// data read inside a read section must itself be accessed through atomics — the
+// protocol makes torn *walks* detectable, it does not make torn *loads* defined.
 #ifndef SRL_SYNC_SEQ_COUNTER_H_
 #define SRL_SYNC_SEQ_COUNTER_H_
 
 #include <atomic>
 #include <cstdint>
+
+#include "src/sync/fence.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -17,14 +37,45 @@ class SeqCounter {
   SeqCounter(const SeqCounter&) = delete;
   SeqCounter& operator=(const SeqCounter&) = delete;
 
+  // --- Plain counter interface ---
+
   // Reads the current sequence value. Acquire so that a reader that later revalidates
-  // observes at least the tree state published before the last bump it saw.
+  // observes at least the state published before the last bump it saw.
   uint64_t Read() const { return value_.load(std::memory_order_acquire); }
 
-  // Bumps the counter. Called with the full-range write lock held (or immediately before
-  // its release), so increments never race with each other in the intended usage; the
-  // atomic add keeps the type safe for any usage.
+  // Bumps the counter once (any parity). Callers using the seqlock interface below must
+  // not mix in bare Bump()s.
   void Bump() { value_.fetch_add(1, std::memory_order_acq_rel); }
+
+  // --- Seqlock interface ---
+
+  // Opens a write section: the value becomes odd. Write sections must not nest and must
+  // be serialized externally (VmaIndex serializes them with its tree spin lock).
+  void BeginWrite() { value_.fetch_add(1, std::memory_order_acq_rel); }
+
+  // Closes the write section opened by BeginWrite(): the value becomes even again.
+  void EndWrite() { value_.fetch_add(1, std::memory_order_release); }
+
+  // Snapshots a stable (even) value, spinning past any in-flight write section.
+  uint64_t ReadBegin() const {
+    SpinWait spin;
+    for (;;) {
+      const uint64_t v = value_.load(std::memory_order_acquire);
+      if ((v & 1) == 0) {
+        return v;
+      }
+      spin.Spin();
+    }
+  }
+
+  // True if no write section started since `snapshot` was taken by ReadBegin(). The
+  // fence orders the caller's preceding data loads before the re-read (SeqCstFence
+  // rather than a bare acquire fence: TSan cannot model fences, and the seq_cst RMW
+  // substitute it swaps in gives TSan a trackable ordering point — see sync/fence.h).
+  bool Validate(uint64_t snapshot) const {
+    SeqCstFence();
+    return value_.load(std::memory_order_relaxed) == snapshot;
+  }
 
  private:
   std::atomic<uint64_t> value_{0};

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "src/epoch/epoch_domain.h"
+#include "src/epoch/retire_list.h"
+
 namespace srl::vm {
 
 namespace {
@@ -10,26 +13,31 @@ struct VariantConfig {
   VmLockKind kind;
   bool refine_fault;
   bool refine_mprotect;
+  bool scoped_structural;
 };
 
 VariantConfig ConfigFor(VmVariant v) {
   switch (v) {
     case VmVariant::kStock:
-      return {VmLockKind::kStock, false, false};
+      return {VmLockKind::kStock, false, false, false};
     case VmVariant::kTreeFull:
-      return {VmLockKind::kTree, false, false};
+      return {VmLockKind::kTree, false, false, false};
     case VmVariant::kTreeRefined:
-      return {VmLockKind::kTree, true, true};
+      return {VmLockKind::kTree, true, true, false};
     case VmVariant::kListFull:
-      return {VmLockKind::kList, false, false};
+      return {VmLockKind::kList, false, false, false};
     case VmVariant::kListRefined:
-      return {VmLockKind::kList, true, true};
+      return {VmLockKind::kList, true, true, false};
     case VmVariant::kListPf:
-      return {VmLockKind::kList, true, false};
+      return {VmLockKind::kList, true, false, false};
     case VmVariant::kListMprotect:
-      return {VmLockKind::kList, false, true};
+      return {VmLockKind::kList, false, true, false};
+    case VmVariant::kTreeScoped:
+      return {VmLockKind::kTree, true, true, true};
+    case VmVariant::kListScoped:
+      return {VmLockKind::kList, true, true, true};
   }
-  return {VmLockKind::kStock, false, false};
+  return {VmLockKind::kStock, false, false, false};
 }
 
 }  // namespace
@@ -50,6 +58,10 @@ const char* VmVariantName(VmVariant v) {
       return "list-pf";
     case VmVariant::kListMprotect:
       return "list-mprotect";
+    case VmVariant::kTreeScoped:
+      return "tree-scoped";
+    case VmVariant::kListScoped:
+      return "list-scoped";
   }
   return "?";
 }
@@ -58,41 +70,18 @@ AddressSpace::AddressSpace(VmVariant variant) : variant_(variant) {
   const VariantConfig cfg = ConfigFor(variant);
   refine_fault_ = cfg.refine_fault;
   refine_mprotect_ = cfg.refine_mprotect;
+  scoped_structural_ = cfg.scoped_structural;
   lock_ = MakeVmLock(cfg.kind);
 }
 
 AddressSpace::~AddressSpace() = default;
 
 Vma* AddressSpace::AllocVma(uint64_t start, uint64_t end, uint32_t prot) {
-  Vma* vma;
-  if (!vma_freelist_.empty()) {
-    vma = vma_freelist_.back();
-    vma_freelist_.pop_back();
-  } else {
-    vma_storage_.push_back(std::make_unique<Vma>());
-    vma = vma_storage_.back().get();
-  }
+  Vma* vma = new Vma;
   vma->start.store(start, std::memory_order_relaxed);
   vma->end.store(end, std::memory_order_relaxed);
   vma->prot.store(prot, std::memory_order_relaxed);
-  vma->rb_parent = vma->rb_left = vma->rb_right = nullptr;
   return vma;
-}
-
-void AddressSpace::FreeVma(Vma* vma) { vma_freelist_.push_back(vma); }
-
-Vma* AddressSpace::FindVma(uint64_t addr) const {
-  Vma* n = mm_rb_.Root();
-  Vma* best = nullptr;
-  while (n != nullptr) {
-    if (n->End() > addr) {
-      best = n;
-      n = n->rb_left;
-    } else {
-      n = n->rb_right;
-    }
-  }
-  return best;
 }
 
 uint64_t AddressSpace::Mmap(uint64_t length, uint32_t prot) {
@@ -105,42 +94,33 @@ uint64_t AddressSpace::Mmap(uint64_t length, uint32_t prot) {
   // as distinct VMAs, as separate mmap calls produce in practice.
   const uint64_t addr =
       mmap_cursor_.fetch_add(size + kPageSize, std::memory_order_relaxed);
-  void* h = lock_->LockFullWrite();
-  mm_rb_.Insert(AllocVma(addr, addr + size, prot));
-  UnlockFullWrite(h);
+  // The cursor never reuses addresses, so the new VMA can neither overlap nor merge
+  // with an existing one: write-locking just [addr, addr+size) covers every byte whose
+  // mapping changes. No padding is needed — the guard page guarantees no neighbour
+  // boundary is touched.
+  const Range r =
+      scoped_structural_ ? Range{addr, addr + size} : Range::Full();
+  void* h = lock_->LockWrite(r);
+  index_.LockMutate();
+  index_.Insert(AllocVma(addr, addr + size, prot));
+  index_.UnlockMutate();
+  lock_->UnlockWrite(h);
+  if (scoped_structural_) {
+    stats_.scoped_structural.fetch_add(1, std::memory_order_relaxed);
+  }
   return addr;
 }
 
-bool AddressSpace::Munmap(uint64_t addr, uint64_t length) {
-  if (length == 0) {
-    return false;
-  }
-  stats_.munmaps.fetch_add(1, std::memory_order_relaxed);
-  const uint64_t s = PageDown(addr);
-  const uint64_t e = PageUp(addr + length);
-  if (speculate_unmap_lookup_) {
-    // Probe phase under a read acquisition: if the range maps nothing, the answer is
-    // stable (see SetUnmapLookupSpeculation) and the full write lock is never taken.
-    void* rh = lock_->LockRead({s, e});
-    Vma* v = FindVma(s);
-    const bool any_overlap = v != nullptr && v->Start() < e;
-    lock_->UnlockRead(rh);
-    if (!any_overlap) {
-      stats_.unmap_lookup_fastpath.fetch_add(1, std::memory_order_relaxed);
-      return false;
-    }
-  }
-  void* h = lock_->LockFullWrite();
+bool AddressSpace::ApplyMunmapLocked(uint64_t s, uint64_t e) {
   bool any = false;
-  Vma* v = FindVma(s);
+  Vma* v = index_.Find(s);
   while (v != nullptr && v->Start() < e) {
-    Vma* next = RbTree<Vma, VmaTraits>::Next(v);
+    Vma* next = VmaIndex::Next(v);
     const uint64_t vs = v->Start();
     const uint64_t ve = v->End();
     if (s <= vs && e >= ve) {
       // Fully covered: remove.
-      mm_rb_.Erase(v);
-      FreeVma(v);
+      index_.EraseAndRetire(v);
     } else if (s <= vs) {
       // Head clipped. Key grows but stays below the successor's start.
       v->start.store(e, std::memory_order_relaxed);
@@ -150,16 +130,73 @@ bool AddressSpace::Munmap(uint64_t addr, uint64_t length) {
     } else {
       // Hole in the middle: shrink v to the head, insert a new VMA for the tail.
       v->end.store(s, std::memory_order_relaxed);
-      Vma* tail = AllocVma(e, ve, v->Prot());
-      mm_rb_.Insert(tail);
+      index_.Insert(AllocVma(e, ve, v->Prot()));
     }
     any = true;
     v = next;
   }
+  return any;
+}
+
+bool AddressSpace::Munmap(uint64_t addr, uint64_t length) {
+  if (length == 0) {
+    return false;
+  }
+  stats_.munmaps.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t s = PageDown(addr);
+  const uint64_t e = PageUp(addr + length);
+  if (e <= s) {
+    // addr+length wrapped past the top of the address space: the range denotes
+    // nothing, and Range{s, e} would violate the locks' start < end contract.
+    return false;
+  }
+  if (speculate_unmap_lookup_) {
+    // Probe phase under a read acquisition: if the range maps nothing, the answer is
+    // stable (see SetUnmapLookupSpeculation) and no write lock is ever taken.
+    bool any_overlap;
+    {
+      void* rh = lock_->LockRead({s, e});
+      EpochGuard guard(EpochDomain::Global());
+      Vma* v = FindVmaForRead(s);
+      any_overlap = v != nullptr && v->Start() < e;
+      lock_->UnlockRead(rh);
+    }
+    if (!any_overlap) {
+      stats_.unmap_lookup_fastpath.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  if (scoped_structural_) {
+    // Every byte whose mapping changes lies in [s, e); the one-page pad covers the
+    // boundary writes at s and e so they conflict with any speculative mprotect moving
+    // the same boundary. Classify-then-fallback: a padded range that cannot be
+    // represented (top-of-address-space wrap) degrades to the full-range path.
+    const uint64_t ls = s >= kPageSize ? s - kPageSize : 0;
+    const uint64_t le = e + kPageSize;
+    if (le > e) {
+      void* h = lock_->LockWrite({ls, le});
+      index_.LockMutate();
+      const bool any = ApplyMunmapLocked(s, e);
+      index_.UnlockMutate();
+      if (any) {
+        pages_.RemoveRange(s / kPageSize, e / kPageSize);
+      }
+      lock_->UnlockWrite(h);
+      stats_.scoped_structural.fetch_add(1, std::memory_order_relaxed);
+      RetireList::Local().MaybeFlush();
+      return any;
+    }
+    stats_.scoped_fallback.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* h = lock_->LockFullWrite();
+  index_.LockMutate();
+  const bool any = ApplyMunmapLocked(s, e);
+  index_.UnlockMutate();
   if (any) {
     pages_.RemoveRange(s / kPageSize, e / kPageSize);
   }
-  UnlockFullWrite(h);
+  lock_->UnlockWrite(h);
+  RetireList::Local().MaybeFlush();
   return any;
 }
 
@@ -168,52 +205,90 @@ bool AddressSpace::ApplyMprotectLocked(uint64_t s, uint64_t e, uint32_t prot) {
   // behaviour for the common case.
   {
     uint64_t cur = s;
-    Vma* v = FindVma(s);
+    Vma* v = index_.Find(s);
     while (cur < e) {
       if (v == nullptr || v->Start() > cur) {
         return false;
       }
       cur = v->End();
-      v = RbTree<Vma, VmaTraits>::Next(v);
+      v = VmaIndex::Next(v);
     }
   }
   // Split so that [s, e) is tiled by whole VMAs, flipping protections as we go. Splits
   // always keep the existing node as the left piece (its tree key is unchanged) and
   // insert the right piece as a new node, so tree order is never transiently violated.
-  Vma* v = FindVma(s);
+  Vma* v = index_.Find(s);
   while (v != nullptr && v->Start() < e) {
     if (v->Prot() == prot) {
-      v = RbTree<Vma, VmaTraits>::Next(v);
+      v = VmaIndex::Next(v);
       continue;
     }
     if (v->Start() < s) {
       Vma* tail = AllocVma(s, v->End(), v->Prot());
       v->end.store(s, std::memory_order_relaxed);
-      mm_rb_.Insert(tail);
+      index_.Insert(tail);
       v = tail;
       continue;  // reprocess the covered piece
     }
     if (v->End() > e) {
       Vma* tail = AllocVma(e, v->End(), v->Prot());
       v->end.store(e, std::memory_order_relaxed);
-      mm_rb_.Insert(tail);
+      index_.Insert(tail);
     }
     v->prot.store(prot, std::memory_order_relaxed);
-    v = RbTree<Vma, VmaTraits>::Next(v);
+    v = VmaIndex::Next(v);
   }
   // Merge sweep over the affected neighbourhood (the kernel merges eagerly in
   // vma_merge; we restore the canonical form after the fact).
-  Vma* m = FindVma(s == 0 ? 0 : s - 1);
+  Vma* m = index_.Find(s == 0 ? 0 : s - 1);
   while (m != nullptr && m->Start() <= e) {
-    Vma* next = RbTree<Vma, VmaTraits>::Next(m);
+    Vma* next = VmaIndex::Next(m);
     if (next != nullptr && m->End() == next->Start() && m->Prot() == next->Prot()) {
       m->end.store(next->End(), std::memory_order_relaxed);
-      mm_rb_.Erase(next);
-      FreeVma(next);
+      index_.EraseAndRetire(next);
       continue;  // try to absorb further
     }
     m = next;
   }
+  return true;
+}
+
+bool AddressSpace::ScopedStructuralMprotect(uint64_t s, uint64_t e, uint32_t prot,
+                                            bool* ok) {
+  const uint64_t ls = s >= kPageSize ? s - kPageSize : 0;
+  const uint64_t le = e + kPageSize;
+  if (le <= e) {
+    return false;  // padded range wraps: not representable, take the full path
+  }
+  void* h = lock_->LockWrite({ls, le});
+  // Classify-then-fallback (the structural analogue of SpecCase): every boundary and
+  // protection write of ApplyMprotectLocked lands in [s, e] — except the merge sweep,
+  // which can absorb (erase) a VMA extending past the locked span. Only VMAs already
+  // carrying the target protection are absorbable: in-range pieces get split/flipped
+  // and stay inside [s, e], but a same-prot VMA overlapping [s, e] (including one
+  // starting exactly at e) is never split and survives to the sweep whole. Erasing a
+  // VMA whose bytes we did not lock would race readers of those bytes, so any such
+  // candidate escapes to the full-range path. The scan itself mutates nothing and runs
+  // under the stable tree lock, stalling optimistic walkers only once the seqlock
+  // write section opens for the actual mutation.
+  index_.LockStable();
+  bool escapes = false;
+  for (Vma* v = index_.Find(s); v != nullptr && v->Start() <= e; v = VmaIndex::Next(v)) {
+    if (v->Prot() == prot && v->End() > le) {
+      escapes = true;
+      break;
+    }
+  }
+  if (escapes) {
+    index_.UnlockStable();
+    lock_->UnlockWrite(h);
+    return false;
+  }
+  index_.UpgradeStableToMutate();
+  *ok = ApplyMprotectLocked(s, e, prot);
+  index_.UnlockMutate();
+  lock_->UnlockWrite(h);
+  stats_.scoped_structural.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -227,8 +302,8 @@ AddressSpace::SpecCase AddressSpace::ClassifySpeculative(Vma* vma, uint64_t s, u
   if (vma->Prot() == prot) {
     return SpecCase::kNoop;
   }
-  Vma* prev = RbTree<Vma, VmaTraits>::Prev(vma);
-  Vma* next = RbTree<Vma, VmaTraits>::Next(vma);
+  Vma* prev = VmaIndex::Prev(vma);
+  Vma* next = VmaIndex::Next(vma);
   const bool prev_mergeable =
       prev != nullptr && prev->End() == vs && prev->Prot() == prot;
   const bool next_mergeable =
@@ -255,68 +330,114 @@ bool AddressSpace::Mprotect(uint64_t addr, uint64_t length, uint32_t prot) {
   stats_.mprotects.fetch_add(1, std::memory_order_relaxed);
   const uint64_t s = PageDown(addr);
   const uint64_t e = PageUp(addr + length);
+  if (e <= s) {
+    return false;  // wrapped range: denotes nothing (and Range{s, e} would be invalid)
+  }
 
   bool speculate = refine_mprotect_;
   for (;;) {
     if (!speculate) {
+      if (scoped_structural_) {
+        bool ok = false;
+        if (ScopedStructuralMprotect(s, e, prot, &ok)) {
+          RetireList::Local().MaybeFlush();
+          return ok;
+        }
+        stats_.scoped_fallback.fetch_add(1, std::memory_order_relaxed);
+      }
       void* h = lock_->LockFullWrite();
+      index_.LockMutate();
       const bool ok = ApplyMprotectLocked(s, e, prot);
-      UnlockFullWrite(h);
+      index_.UnlockMutate();
+      lock_->UnlockWrite(h);
+      RetireList::Local().MaybeFlush();
       return ok;
     }
 
-    // Listing 4: read-lock the argument range for the lookup phase.
-    void* rh = lock_->LockRead({s, e});
-    Vma* vma = FindVma(s);
-    if (vma == nullptr || vma->Start() > s) {
+    // Listing 4: read-lock the argument range for the lookup phase. The epoch guard
+    // spans the whole attempt — the unlocked window between the read and write
+    // acquisitions legally dereferences a stale vma pointer (line 15), and with
+    // epoch-reclaimed VMAs that is only safe inside a critical section.
+    {
+      EpochGuard guard(EpochDomain::Global());
+      void* rh = lock_->LockRead({s, e});
+      Vma* vma = FindVmaForRead(s);
+      if (vma == nullptr || vma->Start() > s) {
+        lock_->UnlockRead(rh);
+        return false;  // start address unmapped — ENOMEM
+      }
+      const uint64_t seq = index_.ReadSeq();
+      const uint64_t aligned_start = vma->Start() - kPageSize;
+      const uint64_t aligned_end = vma->End() + kPageSize;
       lock_->UnlockRead(rh);
-      return false;  // start address unmapped — ENOMEM
-    }
-    const uint64_t seq = seq_.Read();
-    const uint64_t aligned_start = vma->Start() - kPageSize;
-    const uint64_t aligned_end = vma->End() + kPageSize;
-    lock_->UnlockRead(rh);
 
-    // Re-acquire for write with the range widened to the VMA plus one page on each
-    // side, so concurrent boundary moves on the neighbours are excluded (§5.2).
-    void* wh = lock_->LockWrite({aligned_start, aligned_end});
-    if (seq != seq_.Read() || aligned_start != vma->Start() - kPageSize ||
-        aligned_end != vma->End() + kPageSize) {
-      lock_->UnlockWrite(wh);
-      stats_.spec_retries.fetch_add(1, std::memory_order_relaxed);
-      continue;  // mm_rb may have changed under us — retry from the top
-    }
-
-    switch (ClassifySpeculative(vma, s, e, prot)) {
-      case SpecCase::kNoop:
-        break;
-      case SpecCase::kWholeFlip:
-        vma->prot.store(prot, std::memory_order_relaxed);
-        break;
-      case SpecCase::kHeadMove: {
-        // Shrink the receiver-side boundary last so the region transits through a
-        // (locked, unreachable) gap rather than a transient overlap.
-        Vma* prev = RbTree<Vma, VmaTraits>::Prev(vma);
-        vma->start.store(e, std::memory_order_relaxed);
-        prev->end.store(e, std::memory_order_relaxed);
-        break;
-      }
-      case SpecCase::kTailMove: {
-        Vma* next = RbTree<Vma, VmaTraits>::Next(vma);
-        vma->end.store(s, std::memory_order_relaxed);
-        next->start.store(s, std::memory_order_relaxed);
-        break;
-      }
-      case SpecCase::kStructural:
+      // Re-acquire for write with the range widened to the VMA plus one page on each
+      // side, so concurrent boundary moves on the neighbours are excluded (§5.2). The
+      // stable tree lock holds off out-of-range structural writers (scoped variants)
+      // during classification without invalidating concurrent optimistic walks.
+      void* wh = lock_->LockWrite({aligned_start, aligned_end});
+      index_.LockStable();
+      if (!index_.ValidateSeq(seq) || aligned_start != vma->Start() - kPageSize ||
+          aligned_end != vma->End() + kPageSize) {
+        index_.UnlockStable();
         lock_->UnlockWrite(wh);
-        stats_.spec_fallback.fetch_add(1, std::memory_order_relaxed);
-        speculate = false;
-        continue;  // redo on the full path
+        stats_.spec_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;  // mm_rb may have changed under us — retry from the top
+      }
+
+      bool fell_back = false;
+      switch (ClassifySpeculative(vma, s, e, prot)) {
+        case SpecCase::kNoop:
+          break;
+        case SpecCase::kWholeFlip:
+          vma->prot.store(prot, std::memory_order_relaxed);
+          break;
+        case SpecCase::kHeadMove: {
+          // Shrink the receiver-side boundary last so the region transits through a
+          // (locked, unreachable) gap rather than a transient overlap.
+          Vma* prev = VmaIndex::Prev(vma);
+          vma->start.store(e, std::memory_order_relaxed);
+          prev->end.store(e, std::memory_order_relaxed);
+          break;
+        }
+        case SpecCase::kTailMove: {
+          Vma* next = VmaIndex::Next(vma);
+          vma->end.store(s, std::memory_order_relaxed);
+          next->start.store(s, std::memory_order_relaxed);
+          break;
+        }
+        case SpecCase::kStructural:
+          stats_.spec_fallback.fetch_add(1, std::memory_order_relaxed);
+          speculate = false;
+          fell_back = true;
+          break;
+      }
+      index_.UnlockStable();
+      lock_->UnlockWrite(wh);
+      if (fell_back) {
+        continue;  // redo on the structural path
+      }
     }
-    lock_->UnlockWrite(wh);
     stats_.spec_success.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
+}
+
+bool AddressSpace::PageFaultLocked(uint64_t addr, bool is_write, uint64_t page_addr) {
+  Vma* vma = FindVmaForRead(addr);
+  bool ok = vma != nullptr && vma->Start() <= addr;
+  if (ok) {
+    const uint32_t required = is_write ? kProtWrite : kProtRead;
+    ok = (vma->Prot() & required) == required;
+  }
+  if (ok) {
+    if (pages_.Install(page_addr / kPageSize)) {
+      stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    stats_.fault_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ok;
 }
 
 bool AddressSpace::PageFault(uint64_t addr, bool is_write) {
@@ -333,18 +454,15 @@ bool AddressSpace::PageFault(uint64_t addr, bool is_write) {
     stats_.fault_try_fallback.fetch_add(1, std::memory_order_relaxed);
     h = lock_->LockRead(r);
   }
-  Vma* vma = FindVma(addr);
-  bool ok = vma != nullptr && vma->Start() <= addr;
-  if (ok) {
-    const uint32_t required = is_write ? kProtWrite : kProtRead;
-    ok = (vma->Prot() & required) == required;
-  }
-  if (ok) {
-    if (pages_.Install(page_addr / kPageSize)) {
-      stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
-    }
+  bool ok;
+  if (scoped_structural_) {
+    // The page-range read lock no longer excludes out-of-range structural writers, so
+    // the lookup walks optimistically and the epoch guard keeps any VMA the walk
+    // touches (including concurrently retired ones) dereferenceable.
+    EpochGuard guard(EpochDomain::Global());
+    ok = PageFaultLocked(addr, is_write, page_addr);
   } else {
-    stats_.fault_errors.fetch_add(1, std::memory_order_relaxed);
+    ok = PageFaultLocked(addr, is_write, page_addr);
   }
   lock_->UnlockRead(h);
   return ok;
@@ -356,6 +474,9 @@ bool AddressSpace::MadviseDontNeed(uint64_t addr, uint64_t length) {
   }
   const uint64_t s = PageDown(addr);
   const uint64_t e = PageUp(addr + length);
+  if (e <= s) {
+    return false;  // wrapped range
+  }
   // MADV_DONTNEED runs under the read acquisition in the kernel: it only drops pages.
   void* h = lock_->LockRead(refine_fault_ ? Range{s, e} : Range::Full());
   pages_.RemoveRange(s / kPageSize, e / kPageSize);
@@ -365,19 +486,21 @@ bool AddressSpace::MadviseDontNeed(uint64_t addr, uint64_t length) {
 
 std::vector<VmaInfo> AddressSpace::SnapshotVmas() {
   std::vector<VmaInfo> out;
+  // The full-range write acquisition conflicts with every scoped writer and reader, so
+  // the index is quiescent and plain iteration is safe.
   void* h = lock_->LockFullWrite();
-  for (Vma* v = mm_rb_.First(); v != nullptr; v = RbTree<Vma, VmaTraits>::Next(v)) {
+  for (Vma* v = index_.First(); v != nullptr; v = VmaIndex::Next(v)) {
     out.push_back({v->Start(), v->End(), v->Prot()});
   }
-  UnlockFullWrite(h);
+  lock_->UnlockWrite(h);
   return out;
 }
 
 bool AddressSpace::CheckInvariants() {
   void* h = lock_->LockFullWrite();
-  bool ok = mm_rb_.ValidateStructure();
+  bool ok = index_.ValidateStructure();
   uint64_t prev_end = 0;
-  for (Vma* v = mm_rb_.First(); ok && v != nullptr; v = RbTree<Vma, VmaTraits>::Next(v)) {
+  for (Vma* v = index_.First(); ok && v != nullptr; v = VmaIndex::Next(v)) {
     const uint64_t vs = v->Start();
     const uint64_t ve = v->End();
     ok = vs < ve && vs % kPageSize == 0 && ve % kPageSize == 0 && vs >= prev_end;
@@ -387,14 +510,14 @@ bool AddressSpace::CheckInvariants() {
     // No page may be present outside a mapped VMA.
     for (uint64_t page : pages_.AllPages()) {
       const uint64_t a = page * kPageSize;
-      Vma* v = FindVma(a);
+      Vma* v = index_.Find(a);
       if (v == nullptr || v->Start() > a) {
         ok = false;
         break;
       }
     }
   }
-  UnlockFullWrite(h);
+  lock_->UnlockWrite(h);
   return ok;
 }
 

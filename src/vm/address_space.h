@@ -1,48 +1,62 @@
 // Simulated process address space — the mm_struct analogue the kernel experiments run
 // against (§5).
 //
-// Structure mirrors the kernel: VMAs in an rb tree (mm_rb) keyed by start, a find_vma()
-// that returns the first VMA whose end exceeds the queried address, eager merging of
-// adjacent same-protection VMAs, splits on partial-range protection changes, and a page
-// table consulted by the fault path. The whole subsystem is guarded by a pluggable
-// VmLock; range refinement follows §5.2/§5.3:
+// Structure mirrors the kernel: VMAs in an rb tree (mm_rb, wrapped by VmaIndex) keyed by
+// start, a find_vma() that returns the first VMA whose end exceeds the queried address,
+// eager merging of adjacent same-protection VMAs, splits on partial-range protection
+// changes, and a page table consulted by the fault path. The whole subsystem is guarded
+// by a pluggable VmLock; range refinement follows §5.2/§5.3, and the scoped variants
+// push it one step past the paper:
 //
-//   * mmap / munmap: full-range write lock, always (structural).
-//   * page fault: read lock — full range, or just the faulting page when
-//     `refine_fault` is set (§5.3).
+//   * mmap / munmap / structural mprotect:
+//       - full-range variants: full-range write lock, always (structural, §5.2).
+//       - scoped variants (kTreeScoped / kListScoped): write lock on the affected range
+//         only — mmap locks [base, base+len); munmap and structural mprotect lock the
+//         argument range padded by one page on each side, which covers every boundary
+//         they can move (neighbour merges included). The rb tree itself is protected by
+//         VmaIndex's internal mutation lock + seqcount, so disjoint-range structural
+//         ops proceed in parallel — the user-space analogue of the kernel's
+//         per-VMA-lock / maple-tree direction. A classify-then-fallback guard
+//         (mirroring the SpecCase protocol) degrades any operation whose padded range
+//         cannot be represented (top-of-address-space overflow) to the full-range path,
+//         so correctness never depends on the scoped reasoning in the corner cases.
+//   * page fault: read lock — full range, or just the faulting page when `refine_fault`
+//     is set (§5.3). Scoped variants additionally look the VMA up with a
+//     seqcount-validated optimistic walk inside an epoch critical section, because
+//     their read acquisition no longer excludes out-of-range structural writers.
 //   * mprotect: full-range write lock, or the speculative protocol of Listing 4 when
 //     `refine_mprotect` is set: read-lock the argument range, find the VMA, snapshot the
 //     sequence number, re-lock [vma.start - page, vma.end + page) for write, validate,
-//     and fall back to the full path whenever mm_rb would change structurally.
+//     and fall back to the structural path whenever mm_rb would change structurally.
 //
-// Every release of a full-range write acquisition bumps the sequence counter (just
-// before the release), which is what speculators validate against.
+// The sequence number lives in VmaIndex and is bumped by every structural mutation
+// (insert / erase / key update) rather than on every full-range write release as the
+// seed did; speculators validate against it exactly as before, with fewer spurious
+// invalidations.
 //
-// Lifetime of VMA records: structural changes only happen under the full-range write
-// lock, which excludes every reader, so unlinked VMAs could be freed immediately — but
-// speculating threads legally dereference a stale vma pointer *between* their read and
-// refined-write acquisitions (Listing 4 line 15 reads vma->start with no lock held).
-// Freed-and-reused VMAs would still be readable garbage there; we therefore never free
-// VMAs to the system during the AddressSpace's life but recycle them through an internal
-// free list (mutations of their atomic fields are benign, and the sequence-number check
-// rejects any acquisition based on stale values).
+// Lifetime of VMA records: epoch-based reclamation (src/epoch/retire_list.h). An
+// unlinked VMA is retired by the unlinking thread and freed only after a grace period,
+// so optimistic walkers and the speculative-mprotect window (Listing 4 line 15 reads
+// vma->start with no lock held) never dereference freed memory. This replaces the
+// seed's never-free internal free list.
 #ifndef SRL_VM_ADDRESS_SPACE_H_
 #define SRL_VM_ADDRESS_SPACE_H_
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "src/rbtree/rb_tree.h"
-#include "src/sync/seq_counter.h"
 #include "src/vm/page_table.h"
 #include "src/vm/vm_lock.h"
 #include "src/vm/vm_stats.h"
 #include "src/vm/vma.h"
+#include "src/vm/vma_index.h"
 
 namespace srl::vm {
 
-// Named lock configurations of the kernel evaluation (Figures 5–8).
+// Named lock configurations of the kernel evaluation (Figures 5–8), plus the
+// range-scoped structural extensions.
 enum class VmVariant {
   kStock,         // mmap_sem semantics
   kTreeFull,      // tree range lock, always full range
@@ -51,9 +65,32 @@ enum class VmVariant {
   kListRefined,   // list range lock + refined fault & speculative mprotect
   kListPf,        // list lock, refined fault only (Figure 6 breakdown)
   kListMprotect,  // list lock, speculative mprotect only (Figure 6 breakdown)
+  kTreeScoped,    // tree lock, refined + range-scoped structural ops
+  kListScoped,    // list lock, refined + range-scoped structural ops
 };
 
 const char* VmVariantName(VmVariant v);
+
+// Canonical list of every variant, in presentation order (benches resolve --variants
+// flags against this, so the flag parser and the enum can never drift).
+inline constexpr VmVariant kAllVmVariants[] = {
+    VmVariant::kStock,        VmVariant::kTreeFull,   VmVariant::kTreeRefined,
+    VmVariant::kListFull,     VmVariant::kListRefined, VmVariant::kListPf,
+    VmVariant::kListMprotect, VmVariant::kTreeScoped, VmVariant::kListScoped,
+};
+
+// Reverse of VmVariantName over kAllVmVariants. Returns kStock with *ok = false when
+// `name` matches no variant.
+inline VmVariant VmVariantFromName(const std::string& name, bool* ok) {
+  for (const VmVariant v : kAllVmVariants) {
+    if (name == VmVariantName(v)) {
+      *ok = true;
+      return v;
+    }
+  }
+  *ok = false;
+  return VmVariant::kStock;
+}
 
 class AddressSpace {
  public:
@@ -91,17 +128,18 @@ class AddressSpace {
   // Extension of the paper's §5.2 closing remark (left as future work there): munmap
   // "starts from calling find_vma, during which the range lock can be held in the read
   // mode". When enabled, Munmap first probes [addr, addr+length) under a read
-  // acquisition; if nothing is mapped there the call completes without ever taking the
-  // full-range write lock. This is sound because boundary-moving (speculative)
-  // mprotects never change the union of mapped addresses, and every operation that does
-  // (mmap/munmap/structural mprotect) holds the full-range write lock, which our read
-  // acquisition excludes. Measured by bench/abl_unmap_spec. Off by default (off in the
-  // paper too). Only meaningful for refined variants; ignored for stock.
+  // acquisition; if nothing is mapped there the call completes without ever taking a
+  // write lock. This is sound because boundary-moving (speculative) mprotects never
+  // change the union of mapped addresses, and every operation that does (mmap/munmap/
+  // structural mprotect) write-locks the bytes it changes, which our read acquisition
+  // excludes. Measured by bench/abl_unmap_spec. Off by default (off in the paper too).
+  // Only meaningful for refined/scoped variants; ignored for stock.
   void SetUnmapLookupSpeculation(bool on) { speculate_unmap_lookup_ = on; }
 
   const VmStats& Stats() const { return stats_; }
   VmLock& Lock() { return *lock_; }
   VmVariant Variant() const { return variant_; }
+  bool ScopedStructural() const { return scoped_structural_; }
 
   // --- Introspection (each takes the full write lock; safe any time) ---
 
@@ -118,19 +156,31 @@ class AddressSpace {
   }
 
   Vma* AllocVma(uint64_t start, uint64_t end, uint32_t prot);
-  void FreeVma(Vma* vma);  // recycle; caller holds the full write lock
 
-  // First VMA with End() > addr, or null. Caller holds at least a read acquisition
-  // covering addr (or the full lock).
-  Vma* FindVma(uint64_t addr) const;
+  // VMA lookup for read-side paths. Scoped variants cannot rely on their (partial)
+  // read acquisition to exclude structural writers, so they take the optimistic walk;
+  // everyone else walks plainly under the exclusion their lock already provides. The
+  // caller must be inside an epoch critical section when scoped.
+  Vma* FindVmaForRead(uint64_t addr) { return FindVmaForRead(addr, scoped_structural_); }
+  Vma* FindVmaForRead(uint64_t addr, bool optimistic) {
+    return optimistic ? index_.FindOptimistic(addr, &stats_) : index_.Find(addr);
+  }
 
-  // Full-path mprotect body; caller holds the full write lock. Returns false on
-  // uncovered ranges.
+  // Fault body; caller holds the read acquisition (and an epoch guard when scoped).
+  bool PageFaultLocked(uint64_t addr, bool is_write, uint64_t page_addr);
+
+  // Munmap mutation loop; caller holds a write acquisition covering [s-pg, e+pg) (or
+  // the full range) and the index mutation lock.
+  bool ApplyMunmapLocked(uint64_t s, uint64_t e);
+
+  // Full-path mprotect body; caller holds a write acquisition covering [s-pg, e+pg)
+  // (or the full range) and the index mutation lock. Returns false on uncovered
+  // ranges.
   bool ApplyMprotectLocked(uint64_t start, uint64_t end, uint32_t prot);
 
-  // Merges `vma` with adjacent equal-protection neighbours; caller holds the full
-  // write lock. Returns the surviving VMA.
-  Vma* MergeWithNeighbours(Vma* vma);
+  // Structural mprotect under a range-scoped write lock. Returns false when the padded
+  // range cannot be represented and the caller must fall back to the full-range path.
+  bool ScopedStructuralMprotect(uint64_t s, uint64_t e, uint32_t prot, bool* ok);
 
   // Classification of a speculative mprotect against a single VMA (§5.2 / Figure 2).
   enum class SpecCase {
@@ -138,28 +188,20 @@ class AddressSpace {
     kWholeFlip,  // whole-VMA flip with no mergeable neighbour
     kHeadMove,   // boundary move: head of vma joins the previous VMA
     kTailMove,   // boundary move: tail of vma joins the next VMA
-    kStructural, // split / merge / multi-VMA — must take the full path
+    kStructural, // split / merge / multi-VMA — must take the structural path
   };
   SpecCase ClassifySpeculative(Vma* vma, uint64_t start, uint64_t end, uint32_t prot);
-
-  // Releases a full-range write acquisition, bumping the sequence number first.
-  void UnlockFullWrite(void* h) {
-    seq_.Bump();
-    lock_->UnlockWrite(h);
-  }
 
   VmVariant variant_;
   bool refine_fault_;
   bool refine_mprotect_;
+  bool scoped_structural_;
   bool speculate_unmap_lookup_ = false;
   std::unique_ptr<VmLock> lock_;
-  SeqCounter seq_;
-  RbTree<Vma, VmaTraits> mm_rb_;
+  VmaIndex index_;
   PageTable pages_;
   VmStats stats_;
   std::atomic<uint64_t> mmap_cursor_{kMmapBase};
-  std::vector<Vma*> vma_freelist_;  // guarded by the full write lock
-  std::vector<std::unique_ptr<Vma>> vma_storage_;  // owns every VMA ever allocated
 };
 
 }  // namespace srl::vm

@@ -12,6 +12,8 @@
 #ifndef SRL_VM_VM_LOCK_H_
 #define SRL_VM_VM_LOCK_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 
 #include "src/baselines/tree_range_lock.h"
@@ -44,6 +46,7 @@ class VmLock {
   }
 
   void* LockWrite(const Range& r) {
+    CountWrite(r);
     if (stats_ == nullptr) {
       return DoLockWrite(r);
     }
@@ -74,12 +77,17 @@ class VmLock {
   }
   bool TryLockWrite(const Range& r, void** out) {
     if (stats_ == nullptr) {
-      return DoTryLockWrite(r, out);
+      if (!DoTryLockWrite(r, out)) {
+        return false;
+      }
+      CountWrite(r);
+      return true;
     }
     const uint64_t t0 = WaitStats::NowNs();
     if (!DoTryLockWrite(r, out)) {
       return false;
     }
+    CountWrite(r);
     stats_->RecordWrite(WaitStats::NowNs() - t0);
     return true;
   }
@@ -95,6 +103,16 @@ class VmLock {
   // For Figure 8: the internal spin-lock sink (tree lock only; no-op otherwise).
   virtual void SetSpinWaitStats(WaitStats*) {}
 
+  // Write-acquisition accounting: how many writes took the whole address space
+  // (Range::Full()) versus a proper sub-range. The scoped structural variants live or
+  // die by this ratio — bench/abl_scoped_structural reports it per variant.
+  uint64_t FullWriteAcquisitions() const {
+    return full_writes_.load(std::memory_order_relaxed);
+  }
+  uint64_t RangedWriteAcquisitions() const {
+    return ranged_writes_.load(std::memory_order_relaxed);
+  }
+
  protected:
   virtual void* DoLockRead(const Range& r) = 0;
   virtual void* DoLockWrite(const Range& r) = 0;
@@ -104,7 +122,17 @@ class VmLock {
   virtual void DoUnlockWrite(void* h) = 0;
 
  private:
+  void CountWrite(const Range& r) {
+    if (r == Range::Full()) {
+      full_writes_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ranged_writes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   WaitStats* stats_ = nullptr;
+  std::atomic<uint64_t> full_writes_{0};
+  std::atomic<uint64_t> ranged_writes_{0};
 };
 
 // Factory.

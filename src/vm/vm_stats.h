@@ -22,8 +22,16 @@ struct VmStats {
   std::atomic<uint64_t> fault_try_fallback{0};  // trylock failed; blocked on the read lock
   std::atomic<uint64_t> spec_success{0};   // mprotect completed on the speculative path
   std::atomic<uint64_t> spec_retries{0};   // seq/boundary validation failed, retried
-  std::atomic<uint64_t> spec_fallback{0};  // structural change forced the full path
+  std::atomic<uint64_t> spec_fallback{0};  // structural change forced the structural path
   std::atomic<uint64_t> unmap_lookup_fastpath{0};  // munmap resolved under a read lock
+  // Range-scoped structural ops (kTreeScoped / kListScoped): structural mutations that
+  // completed under a write lock covering only the affected range (padded one page),
+  // vs. the classify-then-fallback cases that had to degrade to a full-range write.
+  std::atomic<uint64_t> scoped_structural{0};
+  std::atomic<uint64_t> scoped_fallback{0};
+  // Optimistic mm_rb walks (VmaIndex::FindOptimistic) that overlapped a structural
+  // mutation and retried.
+  std::atomic<uint64_t> find_retries{0};
 
   // Fraction of page faults admitted without blocking — what bench/abl_trylock sweeps.
   double FaultTrySuccessRate() const {
@@ -42,6 +50,17 @@ struct VmStats {
     }
     return static_cast<double>(spec_success.load(std::memory_order_relaxed)) /
            static_cast<double>(total);
+  }
+
+  // Fraction of structural operations that stayed range-scoped (scoped variants only;
+  // 0 when no structural op ran).
+  double ScopedStructuralRate() const {
+    const uint64_t scoped = scoped_structural.load(std::memory_order_relaxed);
+    const uint64_t full = scoped_fallback.load(std::memory_order_relaxed);
+    if (scoped + full == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(scoped) / static_cast<double>(scoped + full);
   }
 };
 

@@ -9,11 +9,18 @@
 // (page faults, speculative lookups) observe a VMA whose boundary a metadata-only
 // mprotect is concurrently moving — outside the locked range, either the old or the new
 // boundary value yields a correct answer, but the reads must be tear-free.
+//
+// The rb linkage fields are RbAtomicLink: under the range-scoped variants the tree is
+// rebalanced by writers that hold only a partial-range lock, so page faults walk mm_rb
+// *optimistically* (seqcount-validated, see VmaIndex) while rotations are in flight.
+// Atomic links keep those walks tear-free; the seqlock makes them consistent.
 #ifndef SRL_VM_VMA_H_
 #define SRL_VM_VMA_H_
 
 #include <atomic>
 #include <cstdint>
+
+#include "src/rbtree/rb_tree.h"
 
 namespace srl::vm {
 
@@ -24,10 +31,10 @@ inline constexpr uint32_t kProtWrite = 1u << 1;
 inline constexpr uint32_t kProtExec = 1u << 2;
 
 struct Vma {
-  Vma* rb_parent = nullptr;
-  Vma* rb_left = nullptr;
-  Vma* rb_right = nullptr;
-  bool rb_red = false;
+  RbAtomicLink<Vma> rb_parent;
+  RbAtomicLink<Vma> rb_left;
+  RbAtomicLink<Vma> rb_right;
+  bool rb_red = false;  // only touched under structural exclusion; walks never read it
 
   std::atomic<uint64_t> start{0};
   std::atomic<uint64_t> end{0};

@@ -1,0 +1,66 @@
+#include "src/vm/vma_index.h"
+
+#include <vector>
+
+#include "src/epoch/retire_list.h"
+#include "src/vm/vm_stats.h"
+
+namespace srl::vm {
+
+VmaIndex::~VmaIndex() {
+  // Nodes still linked at destruction belong to this index alone (retired nodes were
+  // already handed to their unlinking thread's RetireList). Collect first: deleting
+  // while iterating would read freed links.
+  std::vector<Vma*> live;
+  live.reserve(tree_.Size());
+  for (Vma* v = tree_.First(); v != nullptr; v = Next(v)) {
+    live.push_back(v);
+  }
+  for (Vma* v : live) {
+    delete v;
+  }
+}
+
+void VmaIndex::EraseAndRetire(Vma* vma) {
+  tree_.Erase(vma);
+  RetireList::Local().Retire(vma);
+}
+
+Vma* VmaIndex::Find(uint64_t addr) const {
+  Vma* n = tree_.Root();
+  Vma* best = nullptr;
+  while (n != nullptr) {
+    if (n->End() > addr) {
+      best = n;
+      n = n->rb_left;
+    } else {
+      n = n->rb_right;
+    }
+  }
+  return best;
+}
+
+Vma* VmaIndex::FindOptimistic(uint64_t addr, VmStats* stats) const {
+  for (;;) {
+    const uint64_t snapshot = seq_.ReadBegin();
+    Vma* best = nullptr;
+    Vma* n = tree_.Root();
+    int steps = 0;
+    while (n != nullptr && steps++ < kMaxWalkSteps) {
+      if (n->End() > addr) {
+        best = n;
+        n = n->rb_left;
+      } else {
+        n = n->rb_right;
+      }
+    }
+    if (n == nullptr && seq_.Validate(snapshot)) {
+      return best;
+    }
+    if (stats != nullptr) {
+      stats->find_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace srl::vm

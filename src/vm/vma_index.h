@@ -1,0 +1,133 @@
+// The VMA index — mm_rb plus the synchronization that makes range-scoped structural
+// operations possible.
+//
+// Under the full-range variants, every structural change to the address space (mmap,
+// munmap, splitting/merging mprotect) holds a full-range write acquisition, so the rb
+// tree is trivially quiescent whenever anyone reads it. The range-scoped variants break
+// that assumption: a writer that only locked [base, base+len) may rebalance the tree
+// while a page fault in a *different* range is walking it. This class concentrates the
+// machinery that keeps that correct:
+//
+//   * A tree spin lock serializes all structural mutators with each other (range locks
+//     alone no longer do — two scoped writers with disjoint ranges must still not
+//     rebalance concurrently). It is the user-space analogue of the kernel's maple-tree
+//     internal lock: critical sections are bounded by the operation's affected-VMA
+//     count and never block (sharding the index to shrink them further is a ROADMAP
+//     item).
+//
+//   * A seqcount (SeqCounter's seqlock interface) brackets every mutation. Readers that
+//     cannot exclude structural writers walk optimistically: snapshot an even sequence,
+//     walk the (atomic-linked) tree, re-validate, retry on overlap. The walk is bounded
+//     — a rotation racing the walk can transiently create a cycle among child pointers,
+//     which the step bound converts into a retry instead of a hang.
+//
+//   * VMA lifetime is epoch-based: an erased VMA is retired to the calling thread's
+//     RetireList and only freed after a grace period, so optimistic walkers (and the
+//     speculative-mprotect window that legally dereferences a stale vma pointer between
+//     its read and write acquisitions) never touch freed memory. This replaces the
+//     seed's never-free vma_freelist_ hack.
+//
+// The same seqcount doubles as the speculation validator of §5.2 (Listing 4): a
+// speculative mprotect snapshots it during the read-locked lookup and rejects its write
+// acquisition if any structural mutation committed in between. Because only real
+// mutations bump it (the seed bumped on every full-write release, including read-only
+// snapshots), speculation can only get *more* accurate.
+#ifndef SRL_VM_VMA_INDEX_H_
+#define SRL_VM_VMA_INDEX_H_
+
+#include <cstdint>
+
+#include "src/rbtree/rb_tree.h"
+#include "src/sync/seq_counter.h"
+#include "src/sync/spin_lock.h"
+#include "src/vm/vma.h"
+
+namespace srl::vm {
+
+struct VmStats;
+
+class VmaIndex {
+ public:
+  VmaIndex() = default;
+  ~VmaIndex();  // frees every VMA still linked in the tree
+
+  VmaIndex(const VmaIndex&) = delete;
+  VmaIndex& operator=(const VmaIndex&) = delete;
+
+  // --- Mutation side -------------------------------------------------------------
+  // Every structural change (Insert / EraseAndRetire / in-place key update via
+  // vma->start) must happen inside LockMutate()/UnlockMutate(): the spin lock
+  // serializes mutators, the seqlock write section makes the mutation visible to
+  // optimistic walkers and speculation validators. Lock ordering: a range-lock
+  // acquisition (if any) always precedes the tree lock; the tree lock never blocks on
+  // a range lock.
+  void LockMutate() {
+    mutex_.lock();
+    seq_.BeginWrite();
+  }
+  void UnlockMutate() {
+    seq_.EndWrite();
+    mutex_.unlock();
+  }
+
+  // Holds off structural mutators *without* opening a seqlock write section. Used by
+  // the speculative-mprotect commit step: it must read Prev/Next links and move
+  // boundaries with the tree stable, but boundary moves are metadata-only and must not
+  // invalidate concurrent optimistic walks or other speculations (§5.2: a successful
+  // speculation does not bump the sequence number). Also used by scoped structural ops
+  // for their read-only classification scan, so optimistic walkers are only stalled
+  // once real mutation begins.
+  void LockStable() { mutex_.lock(); }
+  void UnlockStable() { mutex_.unlock(); }
+
+  // Opens the seqlock write section while the tree lock is already held via
+  // LockStable(): classify under LockStable, upgrade in place to mutate, release with
+  // UnlockMutate. No mutator can interleave between the scan and the upgrade — the
+  // spin lock is held throughout.
+  void UpgradeStableToMutate() { seq_.BeginWrite(); }
+
+  // Under LockMutate():
+  void Insert(Vma* vma) { tree_.Insert(vma); }
+  // Unlinks `vma` and schedules it for reclamation on the calling thread's RetireList
+  // after a grace period. The caller flushes the list at a quiescent point
+  // (RetireList::Local().MaybeFlush(), holding no locks or ranges).
+  void EraseAndRetire(Vma* vma);
+
+  // --- Lookups -------------------------------------------------------------------
+
+  // First VMA with End() > addr, or null. Plain walk: the caller must exclude all
+  // structural mutators (full-range acquisition, LockMutate/LockStable held, or a
+  // non-scoped variant whose structural ops all take the full range).
+  Vma* Find(uint64_t addr) const;
+
+  // As Find, but correct *without* excluding structural mutators: seqcount-validated
+  // optimistic walk (snapshot, walk, re-validate, retry). The caller must be inside an
+  // epoch critical section (EpochGuard) so a concurrently retired VMA stays
+  // dereferenceable. Retries are counted into `stats` when provided.
+  Vma* FindOptimistic(uint64_t addr, VmStats* stats) const;
+
+  // --- Speculation validator (§5.2) ---
+  uint64_t ReadSeq() const { return seq_.ReadBegin(); }
+  bool ValidateSeq(uint64_t snapshot) const { return seq_.Validate(snapshot); }
+
+  // --- Iteration / introspection (caller excludes structural mutators) ---
+  Vma* First() const { return tree_.First(); }
+  static Vma* Next(Vma* v) { return RbTree<Vma, VmaTraits>::Next(v); }
+  static Vma* Prev(Vma* v) { return RbTree<Vma, VmaTraits>::Prev(v); }
+  std::size_t Size() const { return tree_.Size(); }
+  bool ValidateStructure() const { return tree_.ValidateStructure(); }
+
+ private:
+  // Upper bound on walk steps before declaring the walk torn. A quiescent rb tree of
+  // n nodes has height <= 2*log2(n+1); 128 covers any address space this simulation
+  // can build, so hitting the bound implies a concurrent rotation (transient cycle).
+  static constexpr int kMaxWalkSteps = 128;
+
+  RbTree<Vma, VmaTraits> tree_;
+  SpinLock mutex_;   // serializes structural mutators
+  SeqCounter seq_;   // odd while a mutation is in flight
+};
+
+}  // namespace srl::vm
+
+#endif  // SRL_VM_VMA_INDEX_H_

@@ -92,7 +92,8 @@ TEST_P(VmConcurrentTest, DisjointArenasKeepPerThreadSemantics) {
   // the only structural one per thread plus rare validation retries.
   const VmStats& st = as.Stats();
   if (GetParam() == VmVariant::kListRefined || GetParam() == VmVariant::kTreeRefined ||
-      GetParam() == VmVariant::kListMprotect) {
+      GetParam() == VmVariant::kListMprotect || GetParam() == VmVariant::kTreeScoped ||
+      GetParam() == VmVariant::kListScoped) {
     EXPECT_GT(st.SpeculationSuccessRate(), 0.95)
         << "spec=" << st.spec_success.load() << " fallback=" << st.spec_fallback.load()
         << " retries=" << st.spec_retries.load();
@@ -194,10 +195,7 @@ TEST_P(VmConcurrentTest, SharedReadOnlyRegionStableUnderChurn) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllVariants, VmConcurrentTest,
-    ::testing::Values(VmVariant::kStock, VmVariant::kTreeFull, VmVariant::kTreeRefined,
-                      VmVariant::kListFull, VmVariant::kListRefined, VmVariant::kListPf,
-                      VmVariant::kListMprotect),
+    AllVariants, VmConcurrentTest, ::testing::ValuesIn(kAllVmVariants),
     [](const ::testing::TestParamInfo<VmVariant>& info) {
       std::string name = VmVariantName(info.param);
       for (char& c : name) {

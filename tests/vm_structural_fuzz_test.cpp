@@ -1,0 +1,311 @@
+// Structural-operation fuzz for the simulated VM subsystem, aimed at the range-scoped
+// variants (mmap/munmap/structural mprotect under partial-range write locks) but run
+// against every variant so the full-lock configurations pin the reference behaviour.
+//
+// Two batteries:
+//   * A sequential battery drives a seeded random mix of mmap / munmap / mprotect /
+//     madvise / fault against a flat page->prot oracle that also tracks present pages,
+//     including degenerate top-of-address-space ranges that force the scoped
+//     classify-then-fallback path.
+//   * A concurrent battery runs per-thread arenas (each with its own deterministic
+//     oracle) plus continuous structural churn in disjoint ranges, while a checker
+//     thread repeatedly takes the full-range lock and validates CheckInvariants().
+//
+// Registered under the `stress` label: runs in the plain configuration and under TSan
+// (where the optimistic-walk / epoch-reclamation machinery gets its race coverage).
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/prng.h"
+#include "src/vm/address_space.h"
+
+namespace srl::vm {
+namespace {
+
+constexpr uint64_t kPage = AddressSpace::kPageSize;
+
+std::string VariantTestName(const ::testing::TestParamInfo<VmVariant>& info) {
+  std::string name = VmVariantName(info.param);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+class VmStructuralFuzzTest : public ::testing::TestWithParam<VmVariant> {};
+
+// Flat reference model: page index -> prot for mapped pages, plus the present set.
+struct PageOracle {
+  std::map<uint64_t, uint32_t> prot;
+  std::set<uint64_t> present;
+
+  void Map(uint64_t addr, uint64_t pages, uint32_t p) {
+    for (uint64_t i = 0; i < pages; ++i) {
+      prot[addr / kPage + i] = p;
+    }
+  }
+  bool Unmap(uint64_t first_page, uint64_t last_page) {
+    bool any = false;
+    for (uint64_t p = first_page; p < last_page; ++p) {
+      any |= prot.erase(p) > 0;
+      present.erase(p);
+    }
+    return any;
+  }
+  bool Mprotect(uint64_t first_page, uint64_t last_page, uint32_t p) {
+    for (uint64_t q = first_page; q < last_page; ++q) {
+      if (prot.count(q) == 0) {
+        return false;
+      }
+    }
+    for (uint64_t q = first_page; q < last_page; ++q) {
+      prot[q] = p;
+    }
+    return true;
+  }
+  bool Fault(uint64_t addr, bool is_write) {
+    const auto it = prot.find(addr / kPage);
+    const uint32_t required = is_write ? kProtWrite : kProtRead;
+    if (it == prot.end() || (it->second & required) != required) {
+      return false;
+    }
+    present.insert(addr / kPage);
+    return true;
+  }
+  void Madvise(uint64_t first_page, uint64_t last_page) {
+    for (uint64_t p = first_page; p < last_page; ++p) {
+      present.erase(p);
+    }
+  }
+};
+
+TEST_P(VmStructuralFuzzTest, SequentialMixMatchesOracle) {
+  AddressSpace as(GetParam());
+  // Unmap-lookup speculation stays off here (the concurrent battery covers it): the
+  // read-path probe would short-circuit missing unmaps before they can reach the
+  // scoped classify-then-fallback path this battery wants to exercise.
+  Xoshiro256 rng(0x5eed + static_cast<uint64_t>(GetParam()));
+  PageOracle oracle;
+  std::vector<std::pair<uint64_t, uint64_t>> regions;  // [start, end) of mmap calls
+  const uint32_t prots[] = {kProtNone, kProtRead, kProtRead | kProtWrite};
+
+  for (int step = 0; step < 6000; ++step) {
+    const double roll = rng.NextDouble();
+    if (regions.empty() || roll < 0.10) {
+      const uint64_t pages = 1 + rng.NextBelow(24);
+      const uint32_t prot = prots[rng.NextBelow(3)];
+      const uint64_t addr = as.Mmap(pages * kPage, prot);
+      ASSERT_NE(addr, 0u);
+      oracle.Map(addr, pages, prot);
+      regions.push_back({addr, addr + pages * kPage});
+    } else if (roll < 0.22) {
+      // Unmap a random sub-range of a random region (possibly already unmapped).
+      const auto [rs, re] = regions[rng.NextBelow(regions.size())];
+      const uint64_t total = (re - rs) / kPage;
+      const uint64_t off = rng.NextBelow(total);
+      const uint64_t len = 1 + rng.NextBelow(total - off);
+      const bool expect = oracle.Unmap(rs / kPage + off, rs / kPage + off + len);
+      ASSERT_EQ(as.Munmap(rs + off * kPage, len * kPage), expect) << "step " << step;
+    } else if (roll < 0.25) {
+      // Degenerate top-of-address-space ranges. A wrapped range denotes nothing and
+      // returns before taking any lock; a representable range in the last page cannot
+      // be padded, exercising the scoped classify-then-fallback path.
+      if (rng.NextChance(0.5)) {
+        const uint64_t top = ~uint64_t{0} - rng.NextBelow(4) * kPage;
+        ASSERT_FALSE(as.Munmap(top - 2 * kPage, 8 * kPage)) << "step " << step;
+      } else {
+        ASSERT_FALSE(as.Munmap(~uint64_t{0} - 2 * kPage + 1, kPage)) << "step " << step;
+      }
+    } else if (roll < 0.55) {
+      const auto [rs, re] = regions[rng.NextBelow(regions.size())];
+      const uint64_t total = (re - rs) / kPage;
+      const uint64_t off = rng.NextBelow(total);
+      const uint64_t len = 1 + rng.NextBelow(total - off);
+      const uint32_t prot = prots[rng.NextBelow(3)];
+      const bool expect = oracle.Mprotect(rs / kPage + off, rs / kPage + off + len, prot);
+      ASSERT_EQ(as.Mprotect(rs + off * kPage, len * kPage, prot), expect)
+          << "step " << step;
+    } else if (roll < 0.65) {
+      const auto [rs, re] = regions[rng.NextBelow(regions.size())];
+      const uint64_t total = (re - rs) / kPage;
+      const uint64_t off = rng.NextBelow(total);
+      const uint64_t len = 1 + rng.NextBelow(total - off);
+      ASSERT_TRUE(as.MadviseDontNeed(rs + off * kPage, len * kPage));
+      oracle.Madvise(rs / kPage + off, rs / kPage + off + len);
+    } else {
+      const auto [rs, re] = regions[rng.NextBelow(regions.size())];
+      const uint64_t addr = rs + rng.NextBelow(re - rs);
+      const bool is_write = rng.NextChance(0.5);
+      ASSERT_EQ(as.PageFault(addr, is_write), oracle.Fault(addr, is_write))
+          << "step " << step;
+    }
+    if (step % 200 == 0) {
+      ASSERT_TRUE(as.CheckInvariants()) << "step " << step;
+      ASSERT_EQ(as.PresentPages(), oracle.present.size()) << "step " << step;
+    }
+  }
+
+  // Final deep check: the VMA snapshot must tile exactly the oracle's pages.
+  std::map<uint64_t, uint32_t> from_vmas;
+  for (const VmaInfo& v : as.SnapshotVmas()) {
+    for (uint64_t p = v.start / kPage; p < v.end / kPage; ++p) {
+      from_vmas[p] = v.prot;
+    }
+  }
+  EXPECT_EQ(from_vmas, oracle.prot);
+  EXPECT_EQ(as.PresentPages(), oracle.present.size());
+  EXPECT_TRUE(as.CheckInvariants());
+  if (as.ScopedStructural()) {
+    // The degenerate munmaps above must have degraded through the fallback guard.
+    EXPECT_GT(as.Stats().scoped_fallback.load(), 0u);
+    EXPECT_GT(as.Stats().scoped_structural.load(), 0u);
+  }
+}
+
+// A structural mprotect whose merge sweep would absorb a same-protection neighbour
+// extending far past the padded lock span: erasing that VMA under a partial-range lock
+// would race readers of its unlocked bytes, so the scoped variants must classify it as
+// an escape and degrade to the full-range path — with identical semantics.
+TEST_P(VmStructuralFuzzTest, MergeAbsorbingWideNeighbourFallsBack) {
+  AddressSpace as(GetParam());
+  const uint64_t a = as.Mmap(16 * kPage, kProtRead | kProtWrite);
+  ASSERT_TRUE(as.Mprotect(a, kPage, kProtRead));  // split: [a, a+p) R | [a+p, a+16p) RW
+  // Flipping [a, a+2p) back to RW merges all three pieces; the absorbed tail ends 13
+  // pages past the padded span [a-p, a+3p).
+  ASSERT_TRUE(as.Mprotect(a, 2 * kPage, kProtRead | kProtWrite));
+  const auto vmas = as.SnapshotVmas();
+  ASSERT_EQ(vmas.size(), 1u);
+  EXPECT_EQ(vmas[0], (VmaInfo{a, a + 16 * kPage, kProtRead | kProtWrite}));
+  EXPECT_TRUE(as.CheckInvariants());
+  if (as.ScopedStructural()) {
+    EXPECT_GT(as.Stats().scoped_fallback.load(), 0u);
+  }
+}
+
+// Concurrent battery: per-thread arenas with deterministic per-thread oracles, plus
+// disjoint-range structural churn, while a checker thread validates global invariants.
+TEST_P(VmStructuralFuzzTest, ConcurrentStructuralMixKeepsInvariants) {
+  AddressSpace as(GetParam());
+  as.SetUnmapLookupSpeculation(true);
+  constexpr int kThreads = 4;
+  constexpr int kCycles = 4000;
+  constexpr uint64_t kArenaPages = 48;
+  std::atomic<bool> ok{true};
+  std::atomic<bool> done{false};
+  std::atomic<bool> checker_ok{true};
+
+  std::thread checker([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (!as.CheckInvariants()) {
+        checker_ok.store(false);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(0xf522 + static_cast<uint64_t>(t));
+      PageOracle oracle;
+      const uint64_t arena = as.Mmap(kArenaPages * kPage, kProtNone);
+      if (arena == 0) {
+        ok.store(false);
+        return;
+      }
+      oracle.Map(arena, kArenaPages, kProtNone);
+      const uint32_t prots[] = {kProtNone, kProtRead, kProtRead | kProtWrite};
+      // Far past every mapping this run can create: miss-unmaps probe here.
+      const uint64_t nowhere = arena + (uint64_t{1} << 24) * kPage;
+
+      for (int c = 0; c < kCycles && ok.load(std::memory_order_relaxed); ++c) {
+        const double roll = rng.NextDouble();
+        if (roll < 0.35) {
+          // Arena mprotect: always covered, so the result is deterministic.
+          const uint64_t off = rng.NextBelow(kArenaPages);
+          const uint64_t len = 1 + rng.NextBelow(kArenaPages - off);
+          const uint32_t prot = prots[rng.NextBelow(3)];
+          if (!as.Mprotect(arena + off * kPage, len * kPage, prot)) {
+            ok.store(false);
+            return;
+          }
+          oracle.Mprotect(arena / kPage + off, arena / kPage + off + len, prot);
+        } else if (roll < 0.55) {
+          // Structural churn: map, touch, unmap a scratch region; every outcome is
+          // deterministic because the region is thread-private.
+          const uint64_t pages = 1 + rng.NextBelow(8);
+          const uint64_t scratch = as.Mmap(pages * kPage, kProtRead | kProtWrite);
+          if (scratch == 0 || !as.PageFault(scratch, true) ||
+              !as.Munmap(scratch, pages * kPage) ||
+              as.PageFault(scratch, false) /* unmapped now */) {
+            ok.store(false);
+            return;
+          }
+        } else if (roll < 0.65) {
+          // Miss-unmap: nothing is ever mapped there (read-path fast exit when the
+          // unmap-lookup speculation is on).
+          if (as.Munmap(nowhere + rng.NextBelow(512) * kPage, kPage)) {
+            ok.store(false);
+            return;
+          }
+        } else if (roll < 0.75) {
+          const uint64_t off = rng.NextBelow(kArenaPages);
+          const uint64_t len = 1 + rng.NextBelow(kArenaPages - off);
+          if (!as.MadviseDontNeed(arena + off * kPage, len * kPage)) {
+            ok.store(false);
+            return;
+          }
+          oracle.Madvise(arena / kPage + off, arena / kPage + off + len);
+        } else {
+          const uint64_t addr = arena + rng.NextBelow(kArenaPages * kPage);
+          const bool is_write = rng.NextChance(0.5);
+          if (as.PageFault(addr, is_write) != oracle.Fault(addr, is_write)) {
+            ok.store(false);
+            return;
+          }
+        }
+      }
+      // Closing sweep: the arena's final protection state must match the oracle.
+      for (uint64_t p = 0; p < kArenaPages; ++p) {
+        const bool expect_read = (oracle.prot[arena / kPage + p] & kProtRead) != 0;
+        if (as.PageFault(arena + p * kPage, false) != expect_read) {
+          ok.store(false);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : workers) {
+    th.join();
+  }
+  done.store(true, std::memory_order_release);
+  checker.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_TRUE(checker_ok.load());
+  EXPECT_TRUE(as.CheckInvariants());
+  if (as.ScopedStructural()) {
+    // The churn above is structural and nearly all of it fits its padded range, so the
+    // scoped variants must have kept the bulk of it off the full-range path. The
+    // legitimate remainder (~6% with these seeds) is arena mprotects whose merge sweep
+    // would absorb a same-protection neighbour extending past the padded span — the
+    // classify-then-fallback escape.
+    EXPECT_GT(as.Stats().ScopedStructuralRate(), 0.9)
+        << "scoped=" << as.Stats().scoped_structural.load()
+        << " fallback=" << as.Stats().scoped_fallback.load();
+    EXPECT_GT(as.Lock().RangedWriteAcquisitions(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VmStructuralFuzzTest,
+                         ::testing::ValuesIn(kAllVmVariants), VariantTestName);
+
+}  // namespace
+}  // namespace srl::vm

@@ -192,13 +192,20 @@ TEST_P(VmSemanticsTest, ArenaPatternSpeculates) {
   EXPECT_EQ(vmas[0], (VmaInfo{a, a + 4 * kPage, kProtRead | kProtWrite}));
   const auto& st = as_.Stats();
   if (GetParam() == VmVariant::kListRefined || GetParam() == VmVariant::kTreeRefined ||
-      GetParam() == VmVariant::kListMprotect) {
+      GetParam() == VmVariant::kListMprotect || GetParam() == VmVariant::kTreeScoped ||
+      GetParam() == VmVariant::kListScoped) {
     // 28 of 29 mprotects are boundary moves; only the first split is structural.
     EXPECT_EQ(st.spec_success.load(), 28u);
     EXPECT_EQ(st.spec_fallback.load(), 1u);
     EXPECT_GE(st.SpeculationSuccessRate(), 0.9);
   } else {
     EXPECT_EQ(st.spec_success.load(), 0u);
+  }
+  if (as_.ScopedStructural()) {
+    // The structural fallback of the arena pattern (the first split) must itself have
+    // stayed range-scoped: no full-range write degradation for in-range mutations.
+    EXPECT_GE(st.scoped_structural.load(), 1u);
+    EXPECT_EQ(st.scoped_fallback.load(), 0u);
   }
   EXPECT_TRUE(as_.CheckInvariants());
 }
@@ -279,10 +286,7 @@ TEST_P(VmSemanticsTest, RandomOpsMatchFlatOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllVariants, VmSemanticsTest,
-    ::testing::Values(VmVariant::kStock, VmVariant::kTreeFull, VmVariant::kTreeRefined,
-                      VmVariant::kListFull, VmVariant::kListRefined, VmVariant::kListPf,
-                      VmVariant::kListMprotect),
+    AllVariants, VmSemanticsTest, ::testing::ValuesIn(kAllVmVariants),
     [](const ::testing::TestParamInfo<VmVariant>& info) {
       std::string name = VmVariantName(info.param);
       for (char& c : name) {

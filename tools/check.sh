@@ -7,9 +7,11 @@
 #   tools/check.sh plain      # just one (plain | thread | address)
 #
 # The sanitizer passes run the concurrency-heavy lock tests (not the full suite) to keep
-# wall-clock sane under the ~10x sanitizer slowdown; the plain pass runs everything.
+# wall-clock sane under the ~10x sanitizer slowdown; the plain pass runs everything —
+# including the `bench_smoke` tier, which runs every bench binary with tiny durations so
+# benches can rot neither at compile time nor at runtime.
 # CTest labels split the tiers further: `unit` tests run under every configuration, but
-# `stress` tests (the randomized fuzz battery) run only in plain and TSan — their value
+# `stress` tests (the randomized fuzz batteries) run only in plain and TSan — their value
 # under a sanitizer is catching data races, which is TSan's job; repeating them under
 # ASan+UBSan would double the slowest part of the matrix for little coverage.
 set -euo pipefail
@@ -22,7 +24,10 @@ CONFIGS=("${@:-plain thread address}")
 read -r -a CONFIGS <<<"${CONFIGS[*]}"
 
 # Lock-free hot paths + the sync substrate: what TSan/ASan must stay clean on.
-SANITIZED_TESTS='ListRangeLock|ListRwRangeLock|FairList|LockConformance|LockFuzz|Epoch|Sync|SpinLock|TicketLock|RwSpinLock|FairRwLock|RwSemaphore|TreeRangeLock|SegmentRangeLock|RangeOracle'
+# VmStructuralFuzz is the structural-VM-op battery (optimistic mm_rb walks, epoch-
+# reclaimed VMAs, range-scoped mmap/munmap); it carries the `stress` label, so the
+# ASan+UBSan pass (-LE stress) skips it while TSan races it for real.
+SANITIZED_TESTS='ListRangeLock|ListRwRangeLock|FairList|LockConformance|LockFuzz|Epoch|Sync|SpinLock|TicketLock|RwSpinLock|FairRwLock|RwSemaphore|TreeRangeLock|SegmentRangeLock|RangeOracle|VmStructuralFuzz'
 
 run_config() {
   local config="$1"
