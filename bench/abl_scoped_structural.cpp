@@ -41,6 +41,7 @@ struct RunResult {
   Summary churn_per_sec;
   double faults_per_sec = 0.0;
   double scoped_rate = 0.0;       // fraction of structural ops that stayed scoped
+  double fault_spec_rate = 0.0;   // fraction of faults resolved lock-free
   uint64_t ranged_writes = 0;     // write acquisitions on a proper sub-range
   uint64_t full_writes = 0;       // write acquisitions on Range::Full()
 };
@@ -81,6 +82,7 @@ RunResult RunOne(VmVariant variant, int churners, int readers, double secs, int 
   r.faults_per_sec =
       static_cast<double>(fault_ops.load(std::memory_order_relaxed)) / (secs * repeats);
   r.scoped_rate = as.Stats().ScopedStructuralRate();
+  r.fault_spec_rate = as.Stats().FaultSpecRate();
   r.ranged_writes = as.Lock().RangedWriteAcquisitions();
   r.full_writes = as.Lock().FullWriteAcquisitions();
   return r;
@@ -114,7 +116,7 @@ int main(int argc, char** argv) {
   std::cout << "\n=== range-scoped structural ops — disjoint-arena mmap/munmap churn "
                "with fault readers ===\n";
   srl::Table table({"variant", "threads", "churn/sec", "rel-stddev%", "faults/sec",
-                    "scoped%", "ranged-writes", "full-writes"});
+                    "scoped%", "spec-ok%", "ranged-writes", "full-writes"});
   for (const std::string& name : names) {
     bool ok = false;
     const srl::vm::VmVariant variant = srl::vm::VmVariantFromName(name, &ok);
@@ -129,6 +131,7 @@ int main(int argc, char** argv) {
                     srl::Table::Num(r.churn_per_sec.RelStddevPct(), 1),
                     srl::Table::Num(r.faults_per_sec, 0),
                     srl::Table::Num(r.scoped_rate * 100.0, 2),
+                    srl::Table::Num(r.fault_spec_rate * 100.0, 2),
                     std::to_string(r.ranged_writes), std::to_string(r.full_writes)});
     }
   }

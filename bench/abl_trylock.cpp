@@ -8,12 +8,14 @@
 //
 // Setup: `threads` fault threads touch uniformly random pages of a shared
 // `--pages`-page mapping; one churn thread loops { mmap scratch; munmap scratch }
-// (each a full-range write acquisition) with `--churn-pause` no-ops between cycles.
-// Reported per variant: fault throughput, trylock success rate (VmStats
-// fault_try_ok / (ok + fallback)), and total churn cycles.
+// (each a full-range write acquisition — range-scoped under the scoped variants) with
+// `--churn-pause` no-ops between cycles. Reported per variant: fault throughput,
+// trylock success rate (VmStats fault_try_ok / (ok + fallback)), the fraction of
+// faults resolved entirely lock-free (spec-ok%, scoped variants' speculative path),
+// and total churn cycles.
 //
-// Flags: --variants=stock,tree-full,tree-refined,list-full,list-refined
-//        --threads=1,2,4,8  --secs=0.25  --repeats=1  --pages=1024
+// Flags: --variants=stock,tree-full,tree-refined,tree-scoped,list-full,list-refined,
+//        list-scoped --threads=1,2,4,8  --secs=0.25  --repeats=1  --pages=1024
 //        --churn-pause=4096  --csv  --json=BENCH_trylock.json
 #include <atomic>
 #include <iostream>
@@ -35,6 +37,7 @@ using vm::VmVariant;
 struct RunResult {
   Summary faults_per_sec;
   double try_success_rate = 0.0;
+  double spec_rate = 0.0;
   uint64_t churn_cycles = 0;
 };
 
@@ -72,6 +75,7 @@ RunResult RunOne(VmVariant variant, int fault_threads, double secs, int repeats,
   RunResult r;
   r.faults_per_sec = s;
   r.try_success_rate = as.Stats().FaultTrySuccessRate();
+  r.spec_rate = as.Stats().FaultSpecRate();
   r.churn_cycles = churn_cycles.load(std::memory_order_relaxed);
   return r;
 }
@@ -82,9 +86,10 @@ RunResult RunOne(VmVariant variant, int fault_threads, double secs, int repeats,
 int main(int argc, char** argv) {
   srl::Cli cli(argc, argv);
   if (cli.Has("--help")) {
-    std::cout << "abl_trylock --variants=stock,tree-full,tree-refined,list-full,"
-                 "list-refined --threads=1,2,4,8 --secs=0.25 --repeats=1 "
-                 "--pages=1024 --churn-pause=4096 --csv --json=BENCH_trylock.json\n";
+    std::cout << "abl_trylock --variants=stock,tree-full,tree-refined,tree-scoped,"
+                 "list-full,list-refined,list-scoped --threads=1,2,4,8 --secs=0.25 "
+                 "--repeats=1 --pages=1024 --churn-pause=4096 --csv "
+                 "--json=BENCH_trylock.json\n";
     return 0;
   }
   const std::vector<int> threads = cli.GetIntList("--threads", {1, 2, 4, 8});
@@ -96,11 +101,12 @@ int main(int argc, char** argv) {
   const bool csv = cli.GetBool("--csv");
 
   const std::vector<std::string> names = cli.GetStringList(
-      "--variants", {"stock", "tree-full", "tree-refined", "list-full", "list-refined"});
+      "--variants", {"stock", "tree-full", "tree-refined", "tree-scoped", "list-full",
+                     "list-refined", "list-scoped"});
 
   std::cout << "\n=== trylock-first fault path under mmap/munmap churn ===\n";
-  srl::Table table(
-      {"variant", "threads", "faults/sec", "rel-stddev%", "try-success%", "churn-cycles"});
+  srl::Table table({"variant", "threads", "faults/sec", "rel-stddev%", "try-success%",
+                    "spec-ok%", "churn-cycles"});
   for (const std::string& name : names) {
     bool ok = false;
     const srl::vm::VmVariant variant = srl::vm::VmVariantFromName(name, &ok);
@@ -113,6 +119,7 @@ int main(int argc, char** argv) {
       table.AddRow({name, std::to_string(t), srl::Table::Num(r.faults_per_sec.mean, 0),
                     srl::Table::Num(r.faults_per_sec.RelStddevPct(), 1),
                     srl::Table::Num(r.try_success_rate * 100.0, 2),
+                    srl::Table::Num(r.spec_rate * 100.0, 2),
                     std::to_string(r.churn_cycles)});
     }
   }

@@ -31,21 +31,32 @@ EpochDomain::ThreadRec* EpochDomain::AcquireRec() {
 }
 
 void EpochDomain::ReleaseRec(ThreadRec* rec) {
+  if (rec->depth > 0) {
+    // An EpochQuantumGuard left its quantum open (the only legitimate way depth
+    // outlives a scope). Close it so a Barrier() snapshotting this record's odd epoch
+    // is not left waiting on a thread that will never run again, and so the slot's
+    // next owner starts from clean state.
+    rec->depth = 0;
+    rec->quantum_ops = 0;
+    rec->quantum_open = false;
+    rec->epoch.fetch_add(1, std::memory_order_release);
+  }
   rec->in_use.store(false, std::memory_order_release);
 }
 
-void EpochDomain::Barrier(const ThreadRec* self) const {
+void EpochQuantumQuiesce(EpochDomain& domain) {
+  EpochDomain::QuiesceQuantum(CurrentThreadRec(domain));
+}
+
+EpochDomain::GraceTicket EpochDomain::Snapshot(const ThreadRec* self) const {
   const std::size_t hw = high_water_.load(std::memory_order_acquire);
-  // Snapshot every in-flight critical section (odd epoch), then wait for each epoch to
-  // move. A slot released and re-acquired mid-wait still satisfies the condition: the new
-  // owner bumps the epoch on its first Enter, and a freshly even epoch is also fine
-  // because the old owner exited its critical section before releasing the slot.
-  struct Pending {
-    const std::atomic<uint64_t>* epoch;
-    uint64_t seen;
-  };
-  std::vector<Pending> pending;
-  pending.reserve(hw);
+  // Record every in-flight critical section (odd epoch). A slot released and
+  // re-acquired mid-grace still satisfies the elapse condition: the new owner bumps
+  // the epoch on its first Enter, and a freshly even epoch is also fine because the
+  // old owner exited its critical section before releasing the slot (per-slot epochs
+  // are monotone, so there is no ABA).
+  GraceTicket ticket;
+  ticket.entries_.reserve(hw);
   for (std::size_t i = 0; i < hw; ++i) {
     const ThreadRec& rec = recs_[i];
     if (&rec == self || !rec.in_use.load(std::memory_order_acquire)) {
@@ -53,14 +64,31 @@ void EpochDomain::Barrier(const ThreadRec* self) const {
     }
     const uint64_t e = rec.epoch.load(std::memory_order_seq_cst);
     if ((e & 1) != 0) {
-      pending.push_back({&rec.epoch, e});
+      ticket.entries_.push_back({&rec.epoch, e});
     }
   }
-  for (const Pending& p : pending) {
-    SpinWait spin;
-    while (p.epoch->load(std::memory_order_acquire) == p.seen) {
-      spin.Spin();
+  return ticket;
+}
+
+bool EpochDomain::QuiescentNow(const ThreadRec* self) const {
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hw; ++i) {
+    const ThreadRec& rec = recs_[i];
+    if (&rec == self || !rec.in_use.load(std::memory_order_acquire)) {
+      continue;
     }
+    if ((rec.epoch.load(std::memory_order_seq_cst) & 1) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EpochDomain::Barrier(const ThreadRec* self) const {
+  GraceTicket ticket = Snapshot(self);
+  SpinWait spin;
+  while (!ticket.Elapsed()) {
+    spin.Spin();
   }
 }
 

@@ -23,6 +23,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/sync/cacheline.h"
 #include "src/sync/pause.h"
@@ -42,6 +44,9 @@ class EpochDomain {
     std::atomic<uint64_t> epoch{0};   // odd while inside a critical section
     std::atomic<bool> in_use{false};  // slot allocated to a live thread
     uint32_t depth = 0;               // nesting level; owner-thread access only
+    // Epoch-per-quantum state (EpochQuantumGuard); owner-thread access only.
+    uint32_t quantum_ops = 0;         // operations completed in the open quantum
+    bool quantum_open = false;        // quantum owns one `depth` unit while true
   };
 
   EpochDomain() = default;
@@ -78,9 +83,77 @@ class EpochDomain {
     }
   }
 
+  // Closes `rec`'s open epoch-per-quantum section, if any (see EpochQuantumGuard).
+  // Always safe on the owning thread: quantum sections hold no references between
+  // guards. MANDATORY before running Barrier(): two threads barriering with their
+  // quanta open would otherwise each wait forever on the other's idle odd epoch —
+  // each barrier skips only *self*.
+  static void QuiesceQuantum(ThreadRec* rec) {
+    if (rec->quantum_open) {
+      rec->quantum_open = false;
+      rec->quantum_ops = 0;
+      Exit(rec);
+    }
+  }
+
+  // A recorded set of in-flight critical sections — the non-blocking half of the grace
+  // protocol. Snapshot() records every section live at call time; Elapsed() polls
+  // (never waits) whether all of them have since exited. Memory unlinked before the
+  // snapshot may be reclaimed once Elapsed() first returns true: any section that
+  // could still reference it was live at snapshot time (it started before the unlink
+  // and had not exited) and is therefore recorded. Epoch-per-quantum readers made this
+  // split necessary — a quantum parks a thread's epoch odd across whole operation
+  // batches, so *waiting* for it (Barrier) costs a scheduler round on a loaded box,
+  // while deferring the free until a later poll costs nothing.
+  class GraceTicket {
+   public:
+    GraceTicket() = default;
+
+    // True once every recorded section has exited. Prunes satisfied entries, so
+    // repeated polls get cheaper; monotone (true stays true).
+    bool Elapsed() {
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].epoch->load(std::memory_order_acquire) == entries_[i].seen) {
+          entries_[keep++] = entries_[i];
+        }
+      }
+      entries_.resize(keep);
+      return entries_.empty();
+    }
+
+    // Folds `other` in: this ticket then elapses only once both tickets' sections
+    // have exited (conservative union — used to coalesce deferred batches so a
+    // backlog can stay bounded in count without ever blocking).
+    void Merge(GraceTicket&& other) {
+      entries_.insert(entries_.end(), other.entries_.begin(), other.entries_.end());
+      other.entries_.clear();
+    }
+
+   private:
+    friend class EpochDomain;
+    struct Entry {
+      const std::atomic<uint64_t>* epoch;
+      uint64_t seen;
+    };
+    std::vector<Entry> entries_;
+  };
+
+  // Records every critical section in progress at call time. `self` (may be null) is
+  // skipped — a thread's own section never guards memory it retires itself.
+  GraceTicket Snapshot(const ThreadRec* self = nullptr) const;
+
+  // Allocation-free fast path of Snapshot(): true if no critical section other than
+  // `self`'s is in flight right now, i.e. grace for anything already unlinked has
+  // trivially elapsed. Reclaimers call this before building a ticket so the common
+  // quiescent case costs a handful of loads on their hot paths.
+  bool QuiescentNow(const ThreadRec* self = nullptr) const;
+
   // Waits until every critical section that was in progress when the call started has
   // finished. After Barrier() returns, memory unlinked before the call is unreachable
   // from any live traversal and may be reclaimed. `self` (may be null) is skipped.
+  // Callers must close their own open quantum first (QuiesceQuantum) — see GraceTicket
+  // for the non-blocking alternative that needs no such care.
   void Barrier(const ThreadRec* self = nullptr) const;
 
   // Number of records currently registered (for tests / introspection).
@@ -109,6 +182,62 @@ class EpochGuard {
  private:
   EpochDomain::ThreadRec* rec_;
 };
+
+// Epoch-per-quantum guard — the amortized form of EpochGuard for operations hot enough
+// that two RMWs per operation show up (the speculative page-fault path: the list-scoped
+// vs list-full single-core faults/sec gap was exactly this cost).
+//
+// The first guard on a thread opens a critical section ("quantum") that then *stays
+// open across guards*: the next kOpsPerQuantum - 1 guards are a plain-integer
+// increment, no atomics at all. The guard that completes the quantum closes the
+// section (and the one after opens a fresh one), so the epoch provably moves every
+// kOpsPerQuantum operations and a concurrent Barrier() waits at most one quantum of
+// the slowest active thread. A quantum left open by a thread that stops issuing guards
+// is closed when the thread exits (ReleaseRec) or by an explicit
+// EpochQuantumQuiesce(); a live thread that goes idle *between* those points delays —
+// never breaks — reclamation, the standard quiescent-state-based tradeoff.
+//
+// Safety is the conservative direction: the barrier may wait for sections that no
+// longer reference anything, never the reverse. References obtained under a guard must
+// still not outlive that guard (they are only *protected* for the guard's scope; the
+// longer-lived section merely keeps the protection cheap).
+//
+// Constraints: guards of the same domain must not nest on one thread (the inner
+// guard's quantum completion would strip protection from the outer); plain EpochGuards
+// nest freely inside (the quantum owns one depth unit, so they never toggle the
+// epoch).
+class EpochQuantumGuard {
+ public:
+  // Refresh period. Large enough that the two quantum-boundary RMWs vanish into the
+  // noise, small enough that an active faulting thread stalls a barrier for microseconds
+  // only.
+  static constexpr uint32_t kOpsPerQuantum = 64;
+
+  explicit EpochQuantumGuard(EpochDomain& domain) : rec_(CurrentThreadRec(domain)) {
+    if (!rec_->quantum_open) {
+      EpochDomain::Enter(rec_);
+      rec_->quantum_open = true;
+    }
+  }
+  ~EpochQuantumGuard() {
+    if (++rec_->quantum_ops >= kOpsPerQuantum) {
+      rec_->quantum_ops = 0;
+      rec_->quantum_open = false;
+      EpochDomain::Exit(rec_);
+    }
+  }
+  EpochQuantumGuard(const EpochQuantumGuard&) = delete;
+  EpochQuantumGuard& operator=(const EpochQuantumGuard&) = delete;
+
+ private:
+  EpochDomain::ThreadRec* rec_;
+};
+
+// Closes the calling thread's open quantum in `domain`, if any. Call when a thread
+// leaves a fault-heavy phase but stays alive (e.g. a worker that switches to waiting on
+// a queue), so concurrent barriers stop waiting on its idle critical section.
+void EpochQuantumQuiesce(EpochDomain& domain);
+inline void EpochQuantumQuiesce() { EpochQuantumQuiesce(EpochDomain::Global()); }
 
 }  // namespace srl
 

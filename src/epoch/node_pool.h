@@ -1,22 +1,42 @@
 // Thread-local object pools amortizing epoch reclamation (paper §4.4).
 //
-// Each thread keeps exactly two pools per node type:
+// Each thread keeps two pools per node type:
 //   * `active`    — nodes ready to be handed out for new range acquisitions;
 //   * `reclaimed` — nodes this thread unlinked from some lock's list but that may still be
 //                   referenced by concurrent traversals.
-// When the active pool runs dry the thread runs an epoch barrier, after which everything
-// in `reclaimed` is provably unreachable; the pools are swapped, then the new active pool
-// is replenished up to kTargetSize if it holds fewer than kTargetSize/2 nodes and trimmed
-// back to kTargetSize if it holds more than 2*kTargetSize. In a balanced workload the
-// system allocator is therefore only touched during warm-up, exactly as the paper notes.
+// When the active pool runs dry the thread takes a grace *snapshot*
+// (EpochDomain::GraceTicket): if no critical section is in flight the reclaimed pool is
+// provably unreachable and swaps in immediately (the paper's barrier-and-swap, for
+// free); otherwise the reclaimed batch is parked with its snapshot and reaped by a
+// later refill once the snapshot has elapsed, and the pool replenishes from the system
+// allocator in the meantime. Refill therefore NEVER blocks or yields — essential since
+// epoch-per-quantum readers (EpochQuantumGuard) park their epochs odd across whole
+// operation batches, which a blocking barrier would have to wait out at scheduler
+// latency (measured as a 6-10x munmap collapse for the scoped VM variants).
 //
-// Pools are bound to EpochDomain::Global(): the barrier must cover every thread that can
-// traverse a list containing these nodes, and the global domain is the only set with that
-// property.
+// Deferred grace needs standing inventory: a parked batch is out of circulation for
+// roughly one scheduler round, so a hot thread must own enough nodes to bridge
+// alloc_rate x grace_latency of demand — far more than the paper's fixed N, whose
+// blocking barrier never had in-flight batches. The pool therefore *self-sizes*:
+// every park is a shortage signal that ratchets the inventory target up by one batch
+// (bounded), and the paper's trim rule (back to target when above 2x target) only
+// prunes down to that learned floor, with no batch in flight. Without the ratchet the
+// pool thrashes — park forces a kTargetSize malloc burst, the reap overfills, the
+// trim deletes the overfill, and the next park mallocs again (measured as a ~1.5x
+// locked-fault-path slowdown); with it, parking and the malloc traffic die out once
+// the floor covers the grace latency. Fresh pools behave exactly as the paper's
+// (target stays kTargetSize until the first shortage), which is also what keeps the
+// pool-size ablation meaningful.
+//
+// Pools are bound to EpochDomain::Global(): the grace condition must cover every thread
+// that can traverse a list containing these nodes, and the global domain is the only
+// set with that property.
 #ifndef SRL_EPOCH_NODE_POOL_H_
 #define SRL_EPOCH_NODE_POOL_H_
 
 #include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "src/epoch/epoch_domain.h"
 
@@ -36,26 +56,44 @@ template <typename T, typename Traits = PoolTraits<T>, std::size_t kTarget = 128
 class NodePool {
  public:
   static constexpr std::size_t kTargetSize = kTarget;
+  // Parked-batch bound: beyond this, refills stop parking and Alloc falls back to
+  // fresh allocation until grace elapses somewhere.
+  static constexpr std::size_t kMaxParkedBatches = 8;
+  // Inventory-ratchet bound: the learned target never exceeds this many batches, so a
+  // pathological reader parked in a critical section cannot grow the pool without
+  // limit.
+  static constexpr std::size_t kMaxInventory = 64 * kTargetSize;
 
   NodePool() : rec_(CurrentThreadRec(EpochDomain::Global())) {
     Replenish(kTargetSize);
   }
 
   ~NodePool() {
-    // Everything in `reclaimed` may still be referenced; wait out in-flight traversals.
+    // Everything in `reclaimed` and the parked batches may still be referenced; wait
+    // out in-flight traversals. Quiesce first: barriers must never run with the
+    // caller's own quantum open.
+    EpochDomain::QuiesceQuantum(rec_);
     EpochDomain::Global().Barrier(rec_);
     FreeAll(&active_);
     FreeAll(&reclaimed_);
+    for (Parked& p : parked_) {
+      FreeAll(&p.nodes);
+    }
   }
 
   NodePool(const NodePool&) = delete;
   NodePool& operator=(const NodePool&) = delete;
 
-  // Hands out a node for a new acquisition. Must not be called from inside an epoch
-  // critical section (the refill path runs a barrier).
+  // Hands out a node for a new acquisition. Never blocks (see Refill), so it is legal
+  // from inside epoch critical sections.
   T* Alloc() {
     if (active_.head == nullptr) {
       Refill();
+    }
+    if (active_.head == nullptr) {
+      // Every reclaimed node is still inside someone's grace period and the parked
+      // backlog is full: allocate fresh rather than wait.
+      Replenish(kTargetSize);
     }
     return Pop(&active_);
   }
@@ -70,6 +108,7 @@ class NodePool {
 
   std::size_t ActiveSize() const { return active_.size; }
   std::size_t ReclaimedSize() const { return reclaimed_.size; }
+  std::size_t ParkedBatches() const { return parked_.size(); }
 
   // The calling thread's pool for T. One instance per (thread, T).
   static NodePool& Local() {
@@ -80,11 +119,35 @@ class NodePool {
  private:
   struct List {
     T* head = nullptr;
+    T* tail = nullptr;
     std::size_t size = 0;
   };
 
+  struct Parked {
+    List nodes;
+    EpochDomain::GraceTicket ticket;
+  };
+
+  // Moves every node of `src` onto `dst` in O(1) — refills splice whole batches on
+  // the allocation hot path.
+  static void Splice(List* dst, List* src) {
+    if (src->head == nullptr) {
+      return;
+    }
+    Traits::SetNext(src->tail, dst->head);
+    if (dst->head == nullptr) {
+      dst->tail = src->tail;
+    }
+    dst->head = src->head;
+    dst->size += src->size;
+    *src = List{};
+  }
+
   static void Push(List* list, T* node) {
     Traits::SetNext(node, list->head);
+    if (list->head == nullptr) {
+      list->tail = node;
+    }
     list->head = node;
     ++list->size;
   }
@@ -92,30 +155,53 @@ class NodePool {
   static T* Pop(List* list) {
     T* node = list->head;
     list->head = Traits::GetNext(node);
+    if (list->head == nullptr) {
+      list->tail = nullptr;
+    }
     --list->size;
     return node;
   }
 
+  // Refill never blocks, yields, or runs a barrier, so it is safe from any context,
+  // scoped epoch critical sections included (a range acquisition made from within a
+  // skip-list operation allocates here with depth > 0).
   void Refill() {
-    if (rec_->depth > 0) {
-      // This thread is inside an epoch critical section (e.g. a range acquisition made
-      // from within a skip-list operation). Running the barrier here could deadlock:
-      // two threads in this state would each wait for the other's never-ending epoch.
-      // Allocating is always safe, so take fresh nodes now and leave the reclaimed pool
-      // for a future refill made from outside any critical section.
-      Replenish(kTargetSize);
-      return;
+    // First reap: any parked batch whose grace has elapsed is unreachable and becomes
+    // allocatable wholesale (O(1) splice each).
+    std::erase_if(parked_, [this](Parked& p) {
+      if (!p.ticket.Elapsed()) {
+        return false;
+      }
+      Splice(&active_, &p.nodes);
+      return true;
+    });
+
+    if (active_.head == nullptr && reclaimed_.head != nullptr) {
+      if (EpochDomain::Global().QuiescentNow(rec_)) {
+        // No concurrent critical sections: the classic barrier-and-swap, without the
+        // barrier (and without allocating a ticket — this is the refill fast path).
+        Splice(&active_, &reclaimed_);
+      } else if (parked_.size() < kMaxParkedBatches) {
+        parked_.push_back({reclaimed_, EpochDomain::Global().Snapshot(rec_)});
+        reclaimed_ = List{};
+        // Shortage: demand outran inventory by one grace period. Ratchet the target
+        // so the replenishment below becomes standing inventory instead of being
+        // trimmed away after the reap.
+        if (target_ < kMaxInventory) {
+          target_ += kTargetSize;
+        }
+      }
+      // else: keep accumulating in `reclaimed`; a later refill retries once a parked
+      // batch has been reaped.
     }
-    EpochDomain::Global().Barrier(rec_);
-    // After the barrier every node in `reclaimed` is unreachable: swap the (empty) active
-    // pool with it.
-    List tmp = active_;
-    active_ = reclaimed_;
-    reclaimed_ = tmp;
-    if (active_.size < kTargetSize / 2) {
-      Replenish(kTargetSize - active_.size);
-    } else if (active_.size > 2 * kTargetSize) {
-      Trim(kTargetSize);
+
+    if (active_.size < target_ / 2) {
+      Replenish(target_ - active_.size);
+    } else if (active_.size > 2 * target_ && parked_.empty()) {
+      // Trim only down to the learned floor, and only with no batch in flight: while
+      // grace is pending, the excess IS the inventory that keeps the next park from
+      // forcing a malloc burst.
+      Trim(target_);
     }
   }
 
@@ -140,6 +226,10 @@ class NodePool {
   EpochDomain::ThreadRec* rec_;
   List active_;
   List reclaimed_;
+  std::vector<Parked> parked_;
+  // Learned inventory floor: kTargetSize until the first shortage, ratcheted up one
+  // batch per park, never above kMaxInventory. See the header comment.
+  std::size_t target_ = kTargetSize;
 };
 
 }  // namespace srl

@@ -2,8 +2,17 @@
 //
 // Unlike NodePool (which recycles fixed-type lock nodes), RetireList frees arbitrary
 // objects once a grace period has elapsed. Retired objects accumulate in a thread-local
-// buffer; when the buffer reaches kFlushThreshold the thread runs one epoch barrier and
-// frees the whole batch, amortizing the barrier cost.
+// buffer; when the buffer reaches kFlushThreshold the thread *parks* the batch together
+// with a grace snapshot (EpochDomain::GraceTicket) and frees it on a later call once the
+// snapshot has elapsed — reclamation never waits.
+//
+// The non-blocking shape matters because of epoch-per-quantum readers
+// (EpochQuantumGuard): a fault-heavy thread keeps its epoch odd across whole batches of
+// operations, so a blocking barrier at every flush point would cost the retiring thread
+// a full scheduler round per flush (measured as a ~6-10x munmap-throughput collapse on
+// one core). Parking costs one snapshot; the memory simply stays alive a little longer
+// — bounded by the readers' forced quantum refresh. A blocking Flush() remains for
+// destruction and for the parked-batch backstop.
 #ifndef SRL_EPOCH_RETIRE_LIST_H_
 #define SRL_EPOCH_RETIRE_LIST_H_
 
@@ -18,6 +27,15 @@ namespace srl {
 class RetireList {
  public:
   static constexpr std::size_t kFlushThreshold = 256;
+  // At most this many separately-ticketed parked batches; beyond it, new batches
+  // coalesce into the newest parked batch (ticket union). This bounds bookkeeping,
+  // NOT memory: a live thread that idles forever inside an open epoch quantum pins
+  // every later retirement until it quiesces or exits — the deliberate
+  // memory-over-blocking policy (kernel RCU makes the same call). MaybeFlush never
+  // waits; only Flush() (destruction) runs a blocking barrier. Sized so coalescing
+  // essentially never happens against healthy quantum readers, whose tickets elapse
+  // within one scheduler round.
+  static constexpr std::size_t kMaxParkedBatches = 64;
 
   RetireList() : rec_(CurrentThreadRec(EpochDomain::Global())) {}
 
@@ -42,28 +60,49 @@ class RetireList {
     pending_.push_back({obj, deleter});
   }
 
-  // Flushes if the pending batch is large. Call at operation boundaries, while holding no
-  // locks or ranges and outside any epoch critical section.
+  // Parks the current batch once it is large, reaping previously parked batches whose
+  // grace period has elapsed. Never blocks, and free for the (kFlushThreshold - 1 of
+  // every kFlushThreshold) calls below the threshold — this runs after every munmap,
+  // so the ticket polling must stay off that path. Call at operation boundaries,
+  // while holding no locks or ranges and outside any scoped epoch critical section
+  // (EpochGuard); an open epoch-per-quantum section on the calling thread is fine —
+  // the grace snapshot skips the caller's own record.
   void MaybeFlush() {
-    if (pending_.size() >= kFlushThreshold) {
-      Flush();
-    }
-  }
-
-  // Runs a barrier and frees everything retired so far. Must not be called from inside an
-  // epoch critical section.
-  void Flush() {
-    if (pending_.empty()) {
+    if (pending_.size() < kFlushThreshold) {
       return;
     }
-    EpochDomain::Global().Barrier(rec_);
-    for (const Pending& p : pending_) {
-      p.deleter(p.obj);
+    Reap();
+    Park();
+  }
+
+  // Blocking drain: runs a full barrier and frees everything retired so far, parked
+  // batches included. Destruction-only by design — it can wait on another thread's
+  // idle open quantum (see kMaxParkedBatches). Must not be called from inside a
+  // scoped epoch critical section; the caller's own open quantum is closed here (a
+  // barrier only skips *self*, so two threads barriering with open quanta would
+  // deadlock on each other's idle epochs).
+  void Flush() {
+    if (pending_.empty() && parked_.empty()) {
+      return;
     }
+    EpochDomain::QuiesceQuantum(rec_);
+    EpochDomain::Global().Barrier(rec_);
+    for (Batch& batch : parked_) {
+      FreeAll(batch.objs);
+    }
+    parked_.clear();
+    FreeAll(pending_);
     pending_.clear();
   }
 
-  std::size_t PendingCount() const { return pending_.size(); }
+  // Objects retired and not yet freed (buffered + parked).
+  std::size_t PendingCount() const {
+    std::size_t n = pending_.size();
+    for (const Batch& batch : parked_) {
+      n += batch.objs.size();
+    }
+    return n;
+  }
 
   // The calling thread's retire list.
   static RetireList& Local() {
@@ -77,8 +116,53 @@ class RetireList {
     void (*deleter)(void*);
   };
 
+  struct Batch {
+    std::vector<Pending> objs;
+    EpochDomain::GraceTicket ticket;
+  };
+
+  void Park() {
+    if (EpochDomain::Global().QuiescentNow(rec_)) {
+      // No concurrent critical sections: the grace period is already over, no ticket
+      // needed.
+      FreeAll(pending_);
+      pending_.clear();
+      return;
+    }
+    EpochDomain::GraceTicket ticket = EpochDomain::Global().Snapshot(rec_);
+    if (parked_.size() >= kMaxParkedBatches) {
+      // Bookkeeping bound reached (some section is outliving many grace windows):
+      // coalesce into the newest batch instead of blocking. The union ticket frees
+      // both batches once both snapshots have elapsed — strictly conservative.
+      Batch& newest = parked_.back();
+      newest.objs.insert(newest.objs.end(), pending_.begin(), pending_.end());
+      newest.ticket.Merge(std::move(ticket));
+    } else {
+      parked_.push_back({std::move(pending_), std::move(ticket)});
+    }
+    pending_.clear();
+  }
+
+  void Reap() {
+    std::erase_if(parked_, [](Batch& batch) {
+      if (!batch.ticket.Elapsed()) {
+        return false;
+      }
+      FreeAll(batch.objs);
+      return true;
+    });
+  }
+
+  static void FreeAll(std::vector<Pending>& objs) {
+    for (const Pending& p : objs) {
+      p.deleter(p.obj);
+    }
+    objs.clear();
+  }
+
   EpochDomain::ThreadRec* rec_;
   std::vector<Pending> pending_;
+  std::vector<Batch> parked_;
 };
 
 }  // namespace srl

@@ -12,7 +12,10 @@
 //     readers snapshot an even value before walking shared structure and re-validate
 //     afterwards, retrying when a mutation overlapped the walk. This is what lets
 //     VmaIndex::FindOptimistic run correctly without excluding concurrent out-of-range
-//     structural writers.
+//     structural writers. The same interface serves per-object at finer grain:
+//     Vma::meta_seq brackets metadata-only boundary/protection moves (invisible to the
+//     index-level counter by design), giving the lock-free fault path a torn-read
+//     detector for a single VMA's (start, end, prot) triple.
 //
 // Memory-model notes (Boehm, "Can seqlocks get along with programming language memory
 // models?"): the write section opens with an acq_rel RMW and closes with a release RMW;

@@ -1,6 +1,7 @@
 #include "src/vm/address_space.h"
 
 #include <cassert>
+#include <thread>
 
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/retire_list.h"
@@ -385,25 +386,44 @@ bool AddressSpace::Mprotect(uint64_t addr, uint64_t length, uint32_t prot) {
         continue;  // mm_rb may have changed under us — retry from the top
       }
 
+      // Metadata commits open the affected VMAs' per-VMA seqlock write sections (not
+      // the structural seqcount — §5.2: a successful speculation must not invalidate
+      // concurrent speculations or optimistic walks). The lock-free fault path is the
+      // one reader that cannot rely on a page-range acquisition to exclude these
+      // writes; its meta_seq snapshot turns a mid-commit read of (bounds, prot) — and
+      // the transient gap a boundary move passes through — into a retry. Both sections
+      // of a move open before either boundary store and close after both, so a fault
+      // racing the move observes an odd/advanced seqlock on whichever VMA it reads.
       bool fell_back = false;
       switch (ClassifySpeculative(vma, s, e, prot)) {
         case SpecCase::kNoop:
           break;
         case SpecCase::kWholeFlip:
+          vma->meta_seq.BeginWrite();
           vma->prot.store(prot, std::memory_order_relaxed);
+          vma->meta_seq.EndWrite();
           break;
         case SpecCase::kHeadMove: {
           // Shrink the receiver-side boundary last so the region transits through a
-          // (locked, unreachable) gap rather than a transient overlap.
+          // (locked, unreachable-to-locked-readers) gap rather than a transient
+          // overlap.
           Vma* prev = VmaIndex::Prev(vma);
+          vma->meta_seq.BeginWrite();
+          prev->meta_seq.BeginWrite();
           vma->start.store(e, std::memory_order_relaxed);
           prev->end.store(e, std::memory_order_relaxed);
+          prev->meta_seq.EndWrite();
+          vma->meta_seq.EndWrite();
           break;
         }
         case SpecCase::kTailMove: {
           Vma* next = VmaIndex::Next(vma);
+          vma->meta_seq.BeginWrite();
+          next->meta_seq.BeginWrite();
           vma->end.store(s, std::memory_order_relaxed);
           next->start.store(s, std::memory_order_relaxed);
+          next->meta_seq.EndWrite();
+          vma->meta_seq.EndWrite();
           break;
         }
         case SpecCase::kStructural:
@@ -440,9 +460,125 @@ bool AddressSpace::PageFaultLocked(uint64_t addr, bool is_write, uint64_t page_a
   return ok;
 }
 
+// The lock-free fault fast path (scoped variants only). No range acquisition at all:
+//
+//   snapshot  — one epoch-quantum guard (amortized: 2 RMWs per kOpsPerQuantum faults,
+//               not per fault) keeps every VMA the walk touches dereferenceable; one
+//               bounded optimistic mm_rb walk returns the candidate VMA plus the even
+//               structural-seqcount snapshot it validated against.
+//   read      — the covering VMA's (start, end, prot) under its per-VMA meta_seq
+//               seqlock, which metadata-only speculative mprotects bump (they are
+//               invisible to the structural seqcount by design).
+//   install   — conditional page install for a proven-covered access.
+//   validate  — re-validate the structural seqcount and the VMA's live flag AFTER the
+//               install. Install/validate in that order is the load-bearing decision:
+//               munmap bumps the seqcount (unlink) strictly before it sweeps the page
+//               table, so a fault whose install lands after the sweep observes the
+//               bump and undoes, while a fault whose validation passes had its install
+//               ordered before the unlink — and therefore before the sweep, which
+//               erases it. Either way no page survives in an unmapped range.
+//   undo/retry/fallback — a failed validation removes the page this fault installed
+//               (spurious removal of a concurrent fault's identical install is benign:
+//               it is indistinguishable from MADV_DONTNEED and the next touch
+//               reinstalls) and retries; gaps and exhausted budgets degrade to the
+//               trylock-first locked path, whose page-range read lock excludes every
+//               writer of the faulting page and can adjudicate negatives exactly.
+//
+// Trust discipline: a *successful* return requires the post-install validation; a
+// *SIGSEGV* return requires both the structural seqcount and the per-VMA seqlock to
+// validate (a transient gap observed mid-boundary-move is neither — it falls back).
+int AddressSpace::PageFaultOptimistic(uint64_t addr, bool is_write, uint64_t page_addr) {
+  EpochQuantumGuard guard(EpochDomain::Global());
+  for (int attempt = 0; attempt < kFaultSpecAttempts; ++attempt) {
+    Vma* vma = nullptr;
+    uint64_t iseq = 0;
+    if (!index_.TryFindOptimistic(addr, &vma, &iseq)) {
+      stats_.find_retries.fetch_add(1, std::memory_order_relaxed);
+      stats_.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (vma == nullptr) {
+      // Above every mapping. The maximal End() only moves under a structural mutation
+      // (boundary moves need a successor), which the validated walk excludes — but the
+      // locked path adjudicates all negatives for uniformity.
+      return -1;
+    }
+    const uint64_t vseq = vma->meta_seq.ReadBegin();
+    const uint64_t vs = vma->Start();
+    const uint64_t ve = vma->End();
+    const uint32_t prot = vma->Prot();
+    if (!vma->meta_seq.Validate(vseq)) {
+      stats_.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
+      continue;  // torn metadata read: a boundary move / flip overlapped
+    }
+    if (vs > addr || ve <= addr) {
+      // A gap. Possibly real (SIGSEGV), possibly the transient hole a completed
+      // boundary move leaves between the walk and the field reads (the bytes now
+      // belong to the *predecessor*). Only the locked path can tell them apart.
+      return -1;
+    }
+    const uint32_t required = is_write ? kProtWrite : kProtRead;
+    if ((prot & required) != required) {
+      // Deny only against doubly-validated state: the per-VMA seqlock proved the
+      // (bounds, prot) pair consistent; an unchanged structural seqcount proves the
+      // VMA was live and un-clipped for the whole read window.
+      if (index_.ValidateSeq(iseq) && !vma->Detached()) {
+        stats_.fault_spec_ok.fetch_add(1, std::memory_order_relaxed);
+        stats_.fault_errors.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+      stats_.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    if (test_validate_before_install_) {
+      // TEST-ONLY broken ordering: validate, dawdle, then install. A munmap landing in
+      // the window strands the install after the page sweep — the stale page the
+      // fault-vs-unmap battery exists to catch.
+      if (!index_.ValidateSeq(iseq) || vma->Detached()) {
+        stats_.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      for (uint32_t i = 0; i < test_spec_window_yields_; ++i) {
+        std::this_thread::yield();
+      }
+      if (pages_.Install(page_addr / kPageSize)) {
+        stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
+      }
+      stats_.fault_spec_ok.fetch_add(1, std::memory_order_relaxed);
+      return 1;
+    }
+
+    const bool installed = pages_.Install(page_addr / kPageSize);
+    for (uint32_t i = 0; i < test_spec_window_yields_; ++i) {
+      std::this_thread::yield();
+    }
+    if (!index_.ValidateSeq(iseq) || vma->Detached()) {
+      if (installed) {
+        pages_.Remove(page_addr / kPageSize);
+      }
+      stats_.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (installed) {
+      stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
+    }
+    stats_.fault_spec_ok.fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  }
+  return -1;
+}
+
 bool AddressSpace::PageFault(uint64_t addr, bool is_write) {
   stats_.faults.fetch_add(1, std::memory_order_relaxed);
   const uint64_t page_addr = PageDown(addr);
+  if (scoped_structural_) {
+    const int verdict = PageFaultOptimistic(addr, is_write, page_addr);
+    if (verdict >= 0) {
+      return verdict != 0;
+    }
+    stats_.fault_spec_fallback.fetch_add(1, std::memory_order_relaxed);
+  }
   const Range r = refine_fault_ ? Range{page_addr, page_addr + kPageSize} : Range::Full();
   // Trylock-first, mirroring the kernel fault path (do_user_addr_fault does
   // mmap_read_trylock before it will ever sleep): the uncontended fault never blocks,

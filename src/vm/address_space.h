@@ -118,6 +118,14 @@ class AddressSpace {
 
   // Simulated page-fault interrupt for an access at `addr`. Returns true if the access
   // is legal (installing the page on first touch), false for SIGSEGV conditions.
+  //
+  // Scoped variants resolve the common case entirely lock-free (§5.2's speculative
+  // read taken to its endgame, the user-space analogue of the kernel's per-VMA-lock
+  // fault path): an epoch-quantum-guarded optimistic mm_rb walk, a per-VMA seqcount
+  // snapshot of the covering VMA's bounds and protection, a conditional page install,
+  // then re-validation of the structural seqcount and the VMA's live flag — retrying
+  // (bounded) on any overlap and degrading to the trylock-first locked path when
+  // speculation cannot decide. See PageFaultOptimistic for the ordering argument.
   bool PageFault(uint64_t addr, bool is_write);
 
   // MADV_DONTNEED semantics: drops the pages of [addr, addr+length) so the next touch
@@ -148,6 +156,24 @@ class AddressSpace {
   // present outside a mapped VMA.
   bool CheckInvariants();
   std::size_t PresentPages() const { return pages_.Count(); }
+  // Present pages within [addr, addr+length) — lock-free racy count (the fault-vs-unmap
+  // batteries assert this drains to zero for unmapped, never-reused ranges).
+  std::size_t PresentPagesInRange(uint64_t addr, uint64_t length) const {
+    return pages_.CountRange(PageDown(addr) / kPageSize, PageUp(addr + length) / kPageSize);
+  }
+
+  // --- Test-only fault-ordering hooks -------------------------------------------
+  // The speculative fault's correctness hinges on installing the page BEFORE
+  // re-validating the structural seqcount (a fault that loses the race to a munmap
+  // must observe the seq bump and undo, or the munmap's page sweep must observe the
+  // install — never neither). This hook inverts that order and optionally widens the
+  // race window with `window_yields` scheduler yields between validate and install, so
+  // the fault-vs-unmap oracle battery can demonstrate it catches the broken ordering.
+  // Never use outside tests.
+  void TestOnlySetSpecFaultOrdering(bool validate_before_install, uint32_t window_yields) {
+    test_validate_before_install_ = validate_before_install;
+    test_spec_window_yields_ = window_yields;
+  }
 
  private:
   static uint64_t PageDown(uint64_t addr) { return addr & ~(kPageSize - 1); }
@@ -168,6 +194,16 @@ class AddressSpace {
 
   // Fault body; caller holds the read acquisition (and an epoch guard when scoped).
   bool PageFaultLocked(uint64_t addr, bool is_write, uint64_t page_addr);
+
+  // Lock-free speculative fault attempt (scoped variants). Returns 1 (legal access,
+  // page installed), 0 (SIGSEGV proven against validated state), or -1 (undecidable
+  // speculatively — gap observation or attempts exhausted; take the locked path).
+  int PageFaultOptimistic(uint64_t addr, bool is_write, uint64_t page_addr);
+
+  // Retry budget before the speculative fault degrades to the locked path. Retries are
+  // caused by overlapping structural mutations (global seqcount) — rare per-fault, so
+  // a small budget keeps the worst case bounded without giving up the common case.
+  static constexpr int kFaultSpecAttempts = 4;
 
   // Munmap mutation loop; caller holds a write acquisition covering [s-pg, e+pg) (or
   // the full range) and the index mutation lock.
@@ -197,6 +233,8 @@ class AddressSpace {
   bool refine_mprotect_;
   bool scoped_structural_;
   bool speculate_unmap_lookup_ = false;
+  bool test_validate_before_install_ = false;  // test-only; see the hook above
+  uint32_t test_spec_window_yields_ = 0;
   std::unique_ptr<VmLock> lock_;
   VmaIndex index_;
   PageTable pages_;

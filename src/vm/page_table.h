@@ -34,6 +34,38 @@ class PageTable {
     return s.pages.count(page_index) != 0;
   }
 
+  // Drops one page; returns true if it was present. The speculative fault path uses
+  // this to undo an install whose post-install validation failed.
+  bool Remove(uint64_t page_index) {
+    Shard& s = ShardFor(page_index);
+    std::lock_guard<SpinLock> g(s.lock);
+    return s.pages.erase(page_index) > 0;
+  }
+
+  // Present pages in [first_page, last_page) — the fault-vs-unmap batteries assert this
+  // drains to zero for every unmapped range. Not a consistent snapshot under concurrent
+  // mutation (same caveat as AllPages).
+  std::size_t CountRange(uint64_t first_page, uint64_t last_page) const {
+    std::size_t n = 0;
+    if (last_page - first_page <= 4096) {
+      for (uint64_t p = first_page; p < last_page; ++p) {
+        const Shard& s = ShardFor(p);
+        std::lock_guard<SpinLock> g(s.lock);
+        n += s.pages.count(p);
+      }
+      return n;
+    }
+    for (std::size_t i = 0; i < kShards; ++i) {
+      std::lock_guard<SpinLock> g(shards_[i].value.lock);
+      for (const uint64_t p : shards_[i].value.pages) {
+        if (p >= first_page && p < last_page) {
+          ++n;
+        }
+      }
+    }
+    return n;
+  }
+
   // Drops all pages in [first_page, last_page).
   void RemoveRange(uint64_t first_page, uint64_t last_page) {
     if (last_page - first_page <= 4096) {
@@ -84,7 +116,7 @@ class PageTable {
     std::unordered_set<uint64_t> pages;
   };
 
-  Shard& ShardFor(uint64_t page_index) {
+  Shard& ShardFor(uint64_t page_index) const {
     // Fibonacci hash spreads consecutive pages across shards.
     return shards_[(page_index * 0x9e3779b97f4a7c15ull) >> 58].value;
   }

@@ -20,6 +20,13 @@ struct VmStats {
   std::atomic<uint64_t> fault_errors{0};   // unmapped address or protection violation
   std::atomic<uint64_t> fault_try_ok{0};        // fault admitted by the trylock fast path
   std::atomic<uint64_t> fault_try_fallback{0};  // trylock failed; blocked on the read lock
+  // Lock-free speculative fault path (scoped variants): faults resolved without any
+  // range acquisition, attempts that had to retry (validation failure / torn metadata
+  // read), and faults that exhausted their attempts (or observed a gap, which only the
+  // locked path may adjudicate) and degraded to the trylock-first locked path.
+  std::atomic<uint64_t> fault_spec_ok{0};
+  std::atomic<uint64_t> fault_spec_retry{0};
+  std::atomic<uint64_t> fault_spec_fallback{0};
   std::atomic<uint64_t> spec_success{0};   // mprotect completed on the speculative path
   std::atomic<uint64_t> spec_retries{0};   // seq/boundary validation failed, retried
   std::atomic<uint64_t> spec_fallback{0};  // structural change forced the structural path
@@ -32,6 +39,16 @@ struct VmStats {
   // Optimistic mm_rb walks (VmaIndex::FindOptimistic) that overlapped a structural
   // mutation and retried.
   std::atomic<uint64_t> find_retries{0};
+
+  // Fraction of page faults resolved entirely lock-free (scoped variants; 0 elsewhere).
+  double FaultSpecRate() const {
+    const uint64_t total = faults.load(std::memory_order_relaxed);
+    if (total == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(fault_spec_ok.load(std::memory_order_relaxed)) /
+           static_cast<double>(total);
+  }
 
   // Fraction of page faults admitted without blocking — what bench/abl_trylock sweeps.
   double FaultTrySuccessRate() const {

@@ -14,6 +14,19 @@
 // rebalanced by writers that hold only a partial-range lock, so page faults walk mm_rb
 // *optimistically* (seqcount-validated, see VmaIndex) while rotations are in flight.
 // Atomic links keep those walks tear-free; the seqlock makes them consistent.
+//
+// Two members exist purely for the lock-free fault fast path (the per-VMA-lock analogue
+// of the kernel's vm_lock_seq):
+//
+//   * meta_seq — a per-VMA seqlock bracketing every *metadata-only* mutation (the
+//     speculative mprotect's whole-flips and boundary moves, which deliberately do NOT
+//     bump VmaIndex's structural seqcount). A speculative fault snapshots it, reads
+//     start/end/prot, and re-validates, so it can never act on a torn (bounds, prot)
+//     combination or mistake a mid-boundary-move transient gap for a real one.
+//   * detached — set when the VMA is unlinked from mm_rb (it stays dereferenceable
+//     until its epoch grace period ends). A speculative fault re-checks it after the
+//     page install: a fault that raced the unlinking munmap must undo and retry rather
+//     than report success against a dead mapping.
 #ifndef SRL_VM_VMA_H_
 #define SRL_VM_VMA_H_
 
@@ -21,6 +34,7 @@
 #include <cstdint>
 
 #include "src/rbtree/rb_tree.h"
+#include "src/sync/seq_counter.h"
 
 namespace srl::vm {
 
@@ -40,9 +54,18 @@ struct Vma {
   std::atomic<uint64_t> end{0};
   std::atomic<uint32_t> prot{kProtNone};
 
+  // Seqlock over (start, end, prot) for mutations that bypass the index seqcount
+  // (metadata-only speculative mprotects). Writers are serialized by VmaIndex's tree
+  // lock; see the header comment.
+  SeqCounter meta_seq;
+  // True once the VMA has been unlinked from mm_rb (set inside the unlinking seqlock
+  // write section, before the structural seqcount goes even again).
+  std::atomic<bool> detached{false};
+
   uint64_t Start() const { return start.load(std::memory_order_relaxed); }
   uint64_t End() const { return end.load(std::memory_order_relaxed); }
   uint32_t Prot() const { return prot.load(std::memory_order_relaxed); }
+  bool Detached() const { return detached.load(std::memory_order_acquire); }
 };
 
 // mm_rb ordering: by start address. Boundary moves preserve relative order (they only

@@ -23,6 +23,11 @@ VmaIndex::~VmaIndex() {
 
 void VmaIndex::EraseAndRetire(Vma* vma) {
   tree_.Erase(vma);
+  // Published inside the open seqlock write section: a speculative fault that read this
+  // VMA's fields re-validates the structural seqcount *after* its page install, so it
+  // either observes the seq bump or this flag — never a clean validation against a
+  // dead mapping.
+  vma->detached.store(true, std::memory_order_release);
   RetireList::Local().Retire(vma);
 }
 
@@ -40,22 +45,33 @@ Vma* VmaIndex::Find(uint64_t addr) const {
   return best;
 }
 
+bool VmaIndex::TryFindOptimistic(uint64_t addr, Vma** vma, uint64_t* snapshot) const {
+  const uint64_t snap = seq_.ReadBegin();
+  Vma* best = nullptr;
+  Vma* n = tree_.Root();
+  int steps = 0;
+  while (n != nullptr && steps++ < kMaxWalkSteps) {
+    if (n->End() > addr) {
+      best = n;
+      n = n->rb_left;
+    } else {
+      n = n->rb_right;
+    }
+  }
+  if (n != nullptr || !seq_.Validate(snap)) {
+    return false;  // step bound hit (transient cycle) or a mutation overlapped
+  }
+  *vma = best;
+  *snapshot = snap;
+  return true;
+}
+
 Vma* VmaIndex::FindOptimistic(uint64_t addr, VmStats* stats) const {
   for (;;) {
-    const uint64_t snapshot = seq_.ReadBegin();
-    Vma* best = nullptr;
-    Vma* n = tree_.Root();
-    int steps = 0;
-    while (n != nullptr && steps++ < kMaxWalkSteps) {
-      if (n->End() > addr) {
-        best = n;
-        n = n->rb_left;
-      } else {
-        n = n->rb_right;
-      }
-    }
-    if (n == nullptr && seq_.Validate(snapshot)) {
-      return best;
+    Vma* vma = nullptr;
+    uint64_t snapshot = 0;
+    if (TryFindOptimistic(addr, &vma, &snapshot)) {
+      return vma;
     }
     if (stats != nullptr) {
       stats->find_retries.fetch_add(1, std::memory_order_relaxed);

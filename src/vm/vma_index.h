@@ -106,6 +106,14 @@ class VmaIndex {
   // dereferenceable. Retries are counted into `stats` when provided.
   Vma* FindOptimistic(uint64_t addr, VmStats* stats) const;
 
+  // One bounded optimistic walk attempt. On success returns true, stores the result in
+  // *vma (null for "no VMA with End() > addr") and the even snapshot the walk validated
+  // against in *snapshot — the speculative fault path re-validates that same snapshot
+  // after its page install, so one ReadBegin covers the walk *and* the install window.
+  // Returns false when a structural mutation overlapped the walk (the caller retries
+  // or falls back). Same epoch-critical-section requirement as FindOptimistic.
+  bool TryFindOptimistic(uint64_t addr, Vma** vma, uint64_t* snapshot) const;
+
   // --- Speculation validator (§5.2) ---
   uint64_t ReadSeq() const { return seq_.ReadBegin(); }
   bool ValidateSeq(uint64_t snapshot) const { return seq_.Validate(snapshot); }

@@ -123,6 +123,146 @@ TEST(EpochDomainTest, CurrentThreadRecIsStablePerThread) {
   EXPECT_NE(a, other);
 }
 
+// --- Epoch-per-quantum (EpochQuantumGuard) ---
+
+// The amortization contract: the first guard opens a critical section that persists
+// across guards (no epoch movement, hence no RMWs, for the next kOpsPerQuantum - 1
+// operations), and the guard completing the quantum closes it — the epoch provably
+// moves every kOpsPerQuantum operations.
+TEST(EpochQuantumTest, QuantumSpansOpsAndRefreshesOnSchedule) {
+  EpochDomain domain;
+  std::thread worker([&] {
+    EpochDomain::ThreadRec* rec = CurrentThreadRec(domain);
+    const uint64_t e0 = rec->epoch.load();
+    EXPECT_EQ(e0 & 1, 0u);
+    { EpochQuantumGuard g(domain); }
+    const uint64_t open = rec->epoch.load();
+    EXPECT_EQ(open, e0 + 1) << "first guard must open a critical section";
+    for (uint32_t i = 1; i < EpochQuantumGuard::kOpsPerQuantum - 1; ++i) {
+      EpochQuantumGuard g(domain);
+      EXPECT_EQ(rec->epoch.load(), open) << "guard " << i << " moved the epoch "
+                                            "inside the quantum";
+    }
+    { EpochQuantumGuard g(domain); }  // op kOpsPerQuantum: completes the quantum
+    EXPECT_EQ(rec->epoch.load(), open + 1) << "quantum completion must close the "
+                                              "critical section (even epoch)";
+    { EpochQuantumGuard g(domain); }  // next op opens a fresh quantum
+    EXPECT_EQ(rec->epoch.load(), open + 2);
+    EpochQuantumQuiesce(domain);
+  });
+  worker.join();
+}
+
+// Reclamation safety and liveness in one scenario: retired memory must never be freed
+// while any quantum is open (the barrier waits), and a thread that keeps operating
+// must not stall reclamation past its forced refresh (the barrier completes once the
+// quantum boundary passes — no explicit quiesce involved).
+TEST(EpochQuantumTest, OpenQuantumBlocksBarrierUntilForcedRefresh) {
+  EpochDomain domain;
+  std::atomic<bool> quantum_open{false};
+  std::atomic<bool> finish_ops{false};
+  std::atomic<bool> barrier_done{false};
+
+  std::thread holder([&] {
+    { EpochQuantumGuard g(domain); }  // op 1 of the quantum: section now persists
+    quantum_open.store(true);
+    while (!finish_ops.load()) {
+      std::this_thread::yield();
+    }
+    // The remaining ops of the quantum; the one completing it closes the section.
+    for (uint32_t i = 1; i < EpochQuantumGuard::kOpsPerQuantum; ++i) {
+      EpochQuantumGuard g(domain);
+    }
+    // Park with the *next* quantum closed so the test ends deterministically.
+    EpochQuantumQuiesce(domain);
+  });
+
+  while (!quantum_open.load()) {
+    std::this_thread::yield();
+  }
+  std::thread barrier([&] {
+    domain.Barrier();
+    barrier_done.store(true);
+  });
+  EXPECT_TRUE(StaysFalse([&] { return barrier_done.load(); }))
+      << "barrier returned while a quantum (idle between guards) was still open — "
+         "retired memory could be freed under a live speculative reader";
+  finish_ops.store(true);
+  barrier.join();  // must complete: the forced refresh closed the quantum
+  EXPECT_TRUE(barrier_done.load());
+  holder.join();
+}
+
+// A thread that exits with its quantum open must not strand concurrent barriers:
+// releasing the thread record closes the quantum.
+TEST(EpochQuantumTest, ThreadExitClosesOpenQuantum) {
+  EpochDomain domain;
+  std::thread worker([&] {
+    EpochQuantumGuard g(domain);
+    // Exits with the quantum open (no quiesce): ReleaseRec must clean up.
+  });
+  worker.join();
+  domain.Barrier();  // must not hang
+  SUCCEED();
+}
+
+// Explicit quiesce for live threads leaving a fault-heavy phase.
+TEST(EpochQuantumTest, QuiesceClosesQuantumAndIsIdempotent) {
+  EpochDomain domain;
+  std::thread worker([&] {
+    EpochDomain::ThreadRec* rec = CurrentThreadRec(domain);
+    { EpochQuantumGuard g(domain); }
+    EXPECT_EQ(rec->epoch.load() & 1, 1u);
+    EpochQuantumQuiesce(domain);
+    EXPECT_EQ(rec->epoch.load() & 1, 0u);
+    EpochQuantumQuiesce(domain);  // no open quantum: must be a no-op
+    EXPECT_EQ(rec->epoch.load() & 1, 0u);
+    EpochQuantumQuiesce(domain);
+  });
+  worker.join();
+  domain.Barrier();
+  SUCCEED();
+}
+
+// Scoped guards nest inside an open quantum without toggling the epoch (the quantum
+// owns the outermost depth unit), and the quantum's completion respects nesting.
+TEST(EpochQuantumTest, ScopedGuardsNestInsideQuantum) {
+  EpochDomain domain;
+  std::thread worker([&] {
+    EpochDomain::ThreadRec* rec = CurrentThreadRec(domain);
+    { EpochQuantumGuard g(domain); }
+    const uint64_t open = rec->epoch.load();
+    {
+      EpochGuard nested(domain);
+      EXPECT_EQ(rec->epoch.load(), open) << "nested scoped guard re-toggled the epoch";
+    }
+    EXPECT_EQ(rec->epoch.load(), open) << "nested scoped guard closed the quantum";
+    EpochQuantumQuiesce(domain);
+    EXPECT_EQ(rec->epoch.load(), open + 1);
+  });
+  worker.join();
+}
+
+// The two-flushing-threads scenario behind the quiesce-before-barrier rule: a
+// RetireList::Flush from a thread with an open quantum must both complete (no mutual
+// deadlock with other barriering threads) and still free its batch.
+TEST(EpochQuantumTest, FlushWithOwnQuantumOpenCompletesAndFrees) {
+  std::atomic<bool> ok{true};
+  std::thread worker([&] {
+    // Open a quantum in the global domain (RetireList is bound to it), then flush.
+    { EpochQuantumGuard g(EpochDomain::Global()); }
+    RetireList list;
+    list.Retire(new int(42));
+    list.Flush();  // must quiesce our quantum, run the barrier, and free
+    if (list.PendingCount() != 0) {
+      ok.store(false);
+    }
+    EpochQuantumQuiesce();
+  });
+  worker.join();
+  EXPECT_TRUE(ok.load());
+}
+
 TEST(NodePoolTest, AllocatesPreallocatedNodes) {
   NodePool<LNode> pool;
   EXPECT_EQ(pool.ActiveSize(), NodePool<LNode>::kTargetSize);

@@ -309,6 +309,109 @@ TEST(SeqCounterTest, BumpAdvances) {
   EXPECT_EQ(seq.Read(), 2u);
 }
 
+// --- Seqlock interface conformance (the VM speculation validator's contract) ---
+
+TEST(SeqCounterTest, WriteSectionTogglesParity) {
+  SeqCounter seq;
+  const uint64_t s0 = seq.ReadBegin();
+  EXPECT_EQ(s0 & 1, 0u);
+  seq.BeginWrite();
+  EXPECT_EQ(seq.Read() & 1, 1u) << "value must be odd while a write is in flight";
+  seq.EndWrite();
+  EXPECT_EQ(seq.Read() & 1, 0u);
+  EXPECT_FALSE(seq.Validate(s0)) << "a completed write section must invalidate "
+                                    "snapshots taken before it";
+  EXPECT_TRUE(seq.Validate(seq.ReadBegin()));
+}
+
+// Per-mutation visibility: every BeginWrite/EndWrite pair — even one that restores the
+// protected data bit-for-bit — must be visible to Validate. The VM code depends on
+// this: a munmap that unlinks and a racing fault that validated around it must never
+// agree on an unchanged counter.
+TEST(SeqCounterTest, EveryMutationInvalidatesSnapshots) {
+  SeqCounter seq;
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t snap = seq.ReadBegin();
+    seq.BeginWrite();
+    seq.EndWrite();
+    EXPECT_FALSE(seq.Validate(snap)) << "mutation " << i << " was invisible";
+  }
+}
+
+// A reader must never validate a snapshot taken across an in-progress write:
+// ReadBegin blocks (spins) while the counter is odd, and only returns even values.
+TEST(SeqCounterTest, ReadBeginWaitsOutInFlightWrite) {
+  SeqCounter seq;
+  seq.BeginWrite();
+  std::atomic<bool> got_snapshot{false};
+  std::atomic<uint64_t> snapshot{~uint64_t{0}};
+  std::thread reader([&] {
+    snapshot.store(seq.ReadBegin());
+    got_snapshot.store(true);
+  });
+  EXPECT_TRUE(testing::StaysFalse([&] { return got_snapshot.load(); }))
+      << "ReadBegin returned inside a write section";
+  seq.EndWrite();
+  reader.join();
+  EXPECT_TRUE(got_snapshot.load());
+  EXPECT_EQ(snapshot.load() & 1, 0u);
+  EXPECT_TRUE(seq.Validate(snapshot.load()));
+}
+
+// A hammering writer against concurrent readers: every validated read section must
+// observe a fully consistent multi-word payload, and validation must keep succeeding
+// often enough to make progress (the writer pauses between sections, so stable windows
+// exist).
+TEST(SeqCounterTest, HammeringWriterNeverYieldsTornValidatedReads) {
+  SeqCounter seq;
+  constexpr int kWords = 4;
+  std::atomic<uint64_t> payload[kWords] = {};
+  constexpr int kWrites = 40000;
+  std::atomic<bool> done{false};
+  std::atomic<bool> torn{false};
+  std::atomic<uint64_t> validated{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const uint64_t snap = seq.ReadBegin();
+        uint64_t vals[kWords];
+        for (int w = 0; w < kWords; ++w) {
+          vals[w] = payload[w].load(std::memory_order_relaxed);
+        }
+        if (!seq.Validate(snap)) {
+          continue;  // overlapped a write section: values are unusable, retry
+        }
+        validated.fetch_add(1, std::memory_order_relaxed);
+        for (int w = 1; w < kWords; ++w) {
+          if (vals[w] != vals[0]) {
+            torn.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  for (int i = 1; i <= kWrites; ++i) {
+    seq.BeginWrite();
+    for (int w = 0; w < kWords; ++w) {
+      payload[w].store(static_cast<uint64_t>(i), std::memory_order_relaxed);
+    }
+    seq.EndWrite();
+    if (i % 64 == 0) {
+      std::this_thread::yield();  // open stable windows for the readers
+    }
+  }
+  EXPECT_TRUE(testing::EventuallyTrue([&] { return validated.load() > 0; }));
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_FALSE(torn.load()) << "a validated read section observed a torn payload";
+  EXPECT_GT(validated.load(), 0u);
+}
+
 TEST(BackoffTest, GrowsAndResets) {
   Backoff backoff(2, 16);
   backoff.Spin();  // 2

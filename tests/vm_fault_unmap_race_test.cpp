@@ -1,0 +1,259 @@
+// Adversarial fault-vs-unmap oracle battery for the lock-free speculative page-fault
+// path (and, as a control, the locked fault paths of the full/refined variants).
+//
+// The speculative fault's headline claim is a memory-ordering claim: a fault that loses
+// the race to a munmap must never leave a page present in an unmapped range, and must
+// never report an outcome justified only by a freed VMA's metadata. This battery hunts
+// exactly those bugs:
+//
+//   * Generation-tagged arenas. The mmap cursor never reuses addresses, so an address
+//     uniquely identifies the one mapping (generation) that ever covered it — each
+//     generation's fixed protection is an *exact* oracle for every fault outcome at its
+//     addresses, concurrent unmaps notwithstanding:
+//       - a fault that SUCCEEDS must have been permitted by that generation's
+//         protection ("no fault observed a freed VMA's prot": a stale or foreign VMA's
+//         protection justifying an access is flagged the moment it happens);
+//       - a fault that FAILS while the generation's teardown provably had not begun by
+//         the time the fault returned (the `retiring` flag, set before Munmap, is still
+//         clear *after* the fault) is a spurious SIGSEGV on a live mapping — the
+//         transient-gap bug a mid-boundary-move walk could produce.
+//   * Post-munmap drain. After every Munmap returns, all pages of the unmapped range
+//     must vanish and stay vanished: an in-flight fault may transiently re-install one,
+//     but only with a validation failure it must then undo. A page that never drains is
+//     a stale install — the bug that installing *after* validating would produce.
+//   * Broken-ordering demonstration. A test-only hook inverts the install/validate
+//     order (and widens the race window); the same drain oracle must then catch a stale
+//     page within a bounded number of generations, proving the battery has teeth — and
+//     the correct ordering must survive the identical widened window untouched.
+//
+// Registered under the `stress` label (plain + TSan); TSan is the torn-read detector
+// backing the oracle's linearizability reasoning.
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/prng.h"
+#include "src/vm/address_space.h"
+#include "tests/common/test_clock.h"
+
+namespace srl::vm {
+namespace {
+
+constexpr uint64_t kPage = AddressSpace::kPageSize;
+
+std::string VariantTestName(const ::testing::TestParamInfo<VmVariant>& info) {
+  std::string name = VmVariantName(info.param);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+int GenerationBudget() {
+  // SRL_RACE_GENS scales the battery (the 100-consecutive-iterations TSan run uses the
+  // default; bigger soaks can turn it up).
+  if (const char* env = std::getenv("SRL_RACE_GENS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return 40;
+}
+
+class VmFaultUnmapRaceTest : public ::testing::TestWithParam<VmVariant> {};
+
+// One mapping lifetime. Plain fields are published via the release store of the
+// generation index and never change afterwards; the retiring flags are the teardown
+// announcements the spurious-SIGSEGV oracle keys on.
+struct Generation {
+  uint64_t base = 0;
+  uint64_t pages = 0;
+  uint32_t prot = 0;
+  std::atomic<bool> retiring_head{false};  // first half unmap announced
+  std::atomic<bool> retiring{false};       // full unmap announced
+  std::atomic<uint64_t> attempts{0};       // faults issued against this generation
+};
+
+TEST_P(VmFaultUnmapRaceTest, FaultVsUnmapOracle) {
+  AddressSpace as(GetParam());
+  constexpr int kFaulters = 3;
+  constexpr uint64_t kArenaPages = 16;
+  const int generations = GenerationBudget();
+
+  std::vector<Generation> gens(static_cast<std::size_t>(generations));
+  std::atomic<int> published{-1};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> prot_violation{false};     // success a live prot cannot justify
+  std::atomic<bool> spurious_segv{false};      // failure with teardown provably not begun
+
+  std::vector<std::thread> faulters;
+  for (int t = 0; t < kFaulters; ++t) {
+    faulters.emplace_back([&, t] {
+      Xoshiro256 rng(0xface + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        const int idx = published.load(std::memory_order_acquire);
+        if (idx < 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        Generation& g = gens[static_cast<std::size_t>(idx)];
+        const uint64_t page = rng.NextBelow(g.pages);
+        const uint64_t addr = g.base + page * kPage + rng.NextBelow(kPage);
+        const bool is_write = rng.NextChance(0.4);
+        const uint32_t required = is_write ? kProtWrite : kProtRead;
+        const bool permitted = (g.prot & required) == required;
+        const bool r = as.PageFault(addr, is_write);
+        if (r && !permitted) {
+          // The only mapping that ever covered `addr` forbids this access: the fault
+          // must have trusted a freed/foreign VMA's protection or a torn read.
+          prot_violation.store(true, std::memory_order_relaxed);
+        }
+        if (!r && permitted) {
+          // Failure is legal only if the covering mapping's teardown had begun. The
+          // flag is set (seq_cst) strictly before Munmap is invoked, so reading it
+          // clear *after* the fault completed proves the mapping was fully live for
+          // the fault's entire execution — the fault had no excuse to fail.
+          const bool torn_down = page < g.pages / 2
+                                     ? g.retiring_head.load(std::memory_order_seq_cst) ||
+                                           g.retiring.load(std::memory_order_seq_cst)
+                                     : g.retiring.load(std::memory_order_seq_cst);
+          if (!torn_down) {
+            spurious_segv.store(true, std::memory_order_relaxed);
+          }
+        }
+        g.attempts.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+
+  Xoshiro256 rng(0x5eed4);
+  for (int i = 0; i < generations; ++i) {
+    Generation& g = gens[static_cast<std::size_t>(i)];
+    g.prot = (i % 2 == 0) ? (kProtRead | kProtWrite) : kProtRead;
+    g.pages = kArenaPages;
+    g.base = as.Mmap(g.pages * kPage, g.prot);
+    ASSERT_NE(g.base, 0u);
+    published.store(i, std::memory_order_release);
+
+    // Let the faulters race this generation for a while before tearing it down.
+    const uint64_t target = 24 + rng.NextBelow(64);
+    ASSERT_TRUE(srl::testing::EventuallyTrue(
+        [&] { return g.attempts.load(std::memory_order_acquire) >= target; }))
+        << "faulters stalled on generation " << i;
+
+    if (rng.NextChance(0.5)) {
+      // Partial unmap first: the head half dies while faults keep hammering both
+      // halves (second-half outcomes must stay exact throughout).
+      g.retiring_head.store(true, std::memory_order_seq_cst);
+      ASSERT_TRUE(as.Munmap(g.base, (g.pages / 2) * kPage)) << "generation " << i;
+      EXPECT_TRUE(srl::testing::EventuallyTrue([&] {
+        return as.PresentPagesInRange(g.base, (g.pages / 2) * kPage) == 0;
+      })) << "stale page(s) in the unmapped head half of generation " << i
+          << " — a fault that lost the race left its install behind";
+    }
+    g.retiring.store(true, std::memory_order_seq_cst);
+    ASSERT_TRUE(as.Munmap(g.base, g.pages * kPage)) << "generation " << i;
+    EXPECT_TRUE(srl::testing::EventuallyTrue(
+        [&] { return as.PresentPagesInRange(g.base, g.pages * kPage) == 0; }))
+        << "stale page(s) in unmapped generation " << i;
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& th : faulters) {
+    th.join();
+  }
+
+  EXPECT_FALSE(prot_violation.load()) << "a fault succeeded against an access its "
+                                         "generation's protection forbids";
+  EXPECT_FALSE(spurious_segv.load()) << "a fault failed while its mapping was provably "
+                                        "live and untouched";
+  // Terminal sweep: no unmapped range (addresses are never reused) may hold a page.
+  for (const Generation& g : gens) {
+    EXPECT_EQ(as.PresentPagesInRange(g.base, g.pages * kPage), 0u);
+  }
+  EXPECT_TRUE(as.CheckInvariants());
+  if (as.ScopedStructural()) {
+    // The battery must actually exercise the speculative path, not just its fallback.
+    EXPECT_GT(as.Stats().fault_spec_ok.load(), 0u);
+  }
+}
+
+// The install-before-validate ordering is the load-bearing line of the speculative
+// fault. Invert it (test hook) and the drain oracle above must catch the stale page it
+// strands — within a bounded number of generations, on the same machine, with the same
+// oracle. The control leg re-runs the identical widened-window harness with the correct
+// ordering and must stay clean, so the detection cannot be a false positive.
+TEST_P(VmFaultUnmapRaceTest, BrokenValidateBeforeInstallIsCaught) {
+  if (!AddressSpace(GetParam()).ScopedStructural()) {
+    GTEST_SKIP() << "only scoped variants have the speculative fault path";
+  }
+  // The widened window parks the faulting thread between its two speculative steps for
+  // ~thousands of yields, giving the unmapper time to run a complete munmap inside the
+  // window on any machine, single-core included.
+  constexpr uint32_t kWindowYields = 400;
+  constexpr int kMaxGenerations = 400;
+
+  auto run_leg = [&](bool validate_before_install) {
+    AddressSpace as(GetParam());
+    as.TestOnlySetSpecFaultOrdering(validate_before_install, kWindowYields);
+    std::atomic<uint64_t> pub_base{0};
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> completed{0};
+
+    std::thread faulter([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t base = pub_base.load(std::memory_order_acquire);
+        if (base == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        as.PageFault(base, true);
+        completed.fetch_add(1, std::memory_order_release);
+      }
+    });
+
+    int stale_generations = 0;
+    for (int i = 0; i < kMaxGenerations && stale_generations == 0; ++i) {
+      const uint64_t base = as.Mmap(kPage, kProtRead | kProtWrite);
+      pub_base.store(base, std::memory_order_release);
+      const uint64_t c0 = completed.load(std::memory_order_acquire);
+      // Wait until the faulter is provably working on this generation, then unmap
+      // while it races. The generation stays published: faults issued after the unmap
+      // observe the bumped seqcount, find nothing, and fail without installing, so
+      // they keep the completion counter moving without disturbing the oracle.
+      srl::testing::EventuallyTrue(
+          [&] { return completed.load(std::memory_order_acquire) > c0; });
+      as.Munmap(base, kPage);
+      // Any fault in flight at munmap time has finished once two more faults complete
+      // (the +2 covers one straggler plus one full successor); after that, a page
+      // still present here can only be a stale install that will never be undone.
+      const uint64_t c1 = completed.load(std::memory_order_acquire);
+      srl::testing::EventuallyTrue(
+          [&] { return completed.load(std::memory_order_acquire) >= c1 + 2; });
+      if (as.PresentPagesInRange(base, kPage) != 0) {
+        ++stale_generations;
+      }
+    }
+    stop.store(true, std::memory_order_release);
+    faulter.join();
+    return stale_generations;
+  };
+
+  EXPECT_GT(run_leg(/*validate_before_install=*/true), 0)
+      << "the battery failed to catch a deliberately broken validate-before-install "
+         "ordering — the oracle has lost its teeth";
+  EXPECT_EQ(run_leg(/*validate_before_install=*/false), 0)
+      << "correct install-before-validate ordering left a stale page behind";
+}
+
+INSTANTIATE_TEST_SUITE_P(ScopedAndControls, VmFaultUnmapRaceTest,
+                         ::testing::Values(VmVariant::kTreeScoped, VmVariant::kListScoped,
+                                           VmVariant::kTreeFull, VmVariant::kListRefined),
+                         VariantTestName);
+
+}  // namespace
+}  // namespace srl::vm

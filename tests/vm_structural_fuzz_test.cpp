@@ -23,6 +23,7 @@
 
 #include "src/harness/prng.h"
 #include "src/vm/address_space.h"
+#include "tests/common/test_clock.h"
 
 namespace srl::vm {
 namespace {
@@ -301,6 +302,123 @@ TEST_P(VmStructuralFuzzTest, ConcurrentStructuralMixKeepsInvariants) {
         << "scoped=" << as.Stats().scoped_structural.load()
         << " fallback=" << as.Stats().scoped_fallback.load();
     EXPECT_GT(as.Lock().RangedWriteAcquisitions(), 0u);
+    // The speculative fault path must carry real load here, not just exist: per-thread
+    // arena faults are the common case and the oracle above held them to exact
+    // outcomes while the speculation ran.
+    EXPECT_GT(as.Stats().fault_spec_ok.load(), 0u)
+        << "speculative faults never engaged (retries="
+        << as.Stats().fault_spec_retry.load()
+        << " fallbacks=" << as.Stats().fault_spec_fallback.load() << ")";
+  }
+}
+
+// mprotect-during-fault torn-read oracle. One writer flips a page's protection through
+// the *metadata-only* speculative-mprotect path — the one mutation class invisible to
+// the structural seqcount, so only the per-VMA seqlock stands between the lock-free
+// fault and a torn (bounds, prot) read. Faulting threads bracket every fault with a
+// snapshot of the writer's state log:
+//
+//   * a fault whose whole execution fits inside one stable window (same even log value
+//     on both sides) has a deterministic answer — the logged protection decides it, and
+//     any disagreement is a torn or stale read;
+//   * the boundary-anchor page, which every flip moves a VMA boundary across but which
+//     is *never unmapped and never loses read permission*, must be readable on every
+//     single fault — a failed read there is the transient-gap bug (the walk observed
+//     the mid-boundary-move hole and mistook it for unmapped space).
+TEST_P(VmStructuralFuzzTest, MprotectDuringFaultTornReadOracle) {
+  AddressSpace as(GetParam());
+  // The glibc arena shape: [anchor RW | flip region | NONE tail]. The flip region
+  // ([base+2p, base+4p)) toggles between RW (expand: the head of the NONE VMA joins
+  // the RW VMA — kHeadMove) and NONE (shrink: the RW VMA's tail joins the NONE VMA —
+  // kTailMove). Every flip after the initial split is a metadata-only boundary move
+  // for the refined/scoped variants, and every flip drags a VMA boundary across the
+  // flip region while the anchor's VMA end moves with it.
+  const uint64_t base = as.Mmap(8 * kPage, kProtNone);
+  ASSERT_NE(base, 0u);
+  ASSERT_TRUE(as.Mprotect(base, 2 * kPage, kProtRead | kProtWrite));  // one-time split
+  const uint64_t anchor = base;            // pages 0-1: always RW, never unmapped
+  const uint64_t flip = base + 2 * kPage;  // pages 2-3: RW <-> NONE
+  constexpr int kFlips = 4000;
+
+  // Writer state log: odd while an mprotect is in flight; bit 1 of an even value
+  // encodes whether the flip region is currently writable. Starts NONE (bit clear).
+  std::atomic<uint64_t> wstate{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::atomic<bool> anchor_segv{false};
+  std::atomic<uint64_t> total_faults{0};
+  std::atomic<uint64_t> stable_window_faults{0};
+
+  std::vector<std::thread> faulters;
+  for (int t = 0; t < 2; ++t) {
+    faulters.emplace_back([&, t] {
+      Xoshiro256 rng(0x70a7 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        total_faults.fetch_add(1, std::memory_order_relaxed);
+        if (rng.NextChance(0.3)) {
+          // The anchor pages never change protection and are never unmapped; reads
+          // must succeed on every single fault, mid-boundary-move included.
+          if (!as.PageFault(anchor + rng.NextBelow(2 * kPage), false)) {
+            anchor_segv.store(true, std::memory_order_relaxed);
+          }
+          continue;
+        }
+        const uint64_t s0 = wstate.load(std::memory_order_seq_cst);
+        const bool r = as.PageFault(flip + rng.NextBelow(2 * kPage), true);
+        const uint64_t s1 = wstate.load(std::memory_order_seq_cst);
+        if (s0 == s1 && (s0 & 1) == 0) {
+          // No mprotect began, ran, or ended anywhere inside this fault: the logged
+          // protection is the truth for the entire window.
+          stable_window_faults.fetch_add(1, std::memory_order_relaxed);
+          const bool writable = (s0 & 2) != 0;
+          if (r != writable) {
+            torn.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  // Do not start flipping until the faulters are actually faulting, and hand the core
+  // over regularly: on a single-CPU host the whole flip loop otherwise fits inside one
+  // scheduler quantum and the "during" in mprotect-during-fault never happens.
+  ASSERT_TRUE(srl::testing::EventuallyTrue(
+      [&] { return total_faults.load(std::memory_order_relaxed) > 0; }));
+  for (int i = 0; i < kFlips; ++i) {
+    if (i % 16 == 0) {
+      std::this_thread::yield();
+    }
+    const bool writable = (i % 2) == 0;  // expand first (flip starts NONE)
+    const uint32_t prot = writable ? (kProtRead | kProtWrite) : kProtNone;
+    wstate.fetch_add(1, std::memory_order_seq_cst);  // odd: in flight
+    ASSERT_TRUE(as.Mprotect(flip, 2 * kPage, prot));
+    // Close the window with the new protection encoded (bit 0 clears, bit 1 encodes
+    // writability; the value stays strictly increasing so windows never alias).
+    const uint64_t cur = wstate.load(std::memory_order_relaxed);
+    wstate.store(((cur + 1) & ~uint64_t{2}) | (writable ? 2 : 0),
+                 std::memory_order_seq_cst);
+  }
+  // Give the oracle a guaranteed quiet tail: with the log even and stable, faults now
+  // have deterministic outcomes and must populate the stable-window count.
+  EXPECT_TRUE(srl::testing::EventuallyTrue(
+      [&] { return stable_window_faults.load(std::memory_order_relaxed) > 0; }));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : faulters) {
+    th.join();
+  }
+
+  EXPECT_FALSE(torn.load()) << "a fault inside a stable window contradicted the "
+                               "logged protection: torn or stale prot read";
+  EXPECT_FALSE(anchor_segv.load())
+      << "a read fault on the never-unmapped, always-readable anchor pages failed — "
+         "the transient-gap bug (walk observed a mid-boundary-move hole)";
+  EXPECT_TRUE(as.CheckInvariants());
+  const VmVariant v = GetParam();
+  if (v == VmVariant::kTreeRefined || v == VmVariant::kListRefined ||
+      v == VmVariant::kListMprotect || v == VmVariant::kTreeScoped ||
+      v == VmVariant::kListScoped) {
+    // The flips must really have exercised the metadata-only speculative path.
+    EXPECT_GT(as.Stats().spec_success.load(), 0u);
   }
 }
 
