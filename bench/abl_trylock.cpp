@@ -9,14 +9,19 @@
 // Setup: `threads` fault threads touch uniformly random pages of a shared
 // `--pages`-page mapping; one churn thread loops { mmap scratch; munmap scratch }
 // (each a full-range write acquisition — range-scoped under the scoped variants) with
-// `--churn-pause` no-ops between cycles. Reported per variant: fault throughput,
-// trylock success rate (VmStats fault_try_ok / (ok + fallback)), the fraction of
-// faults resolved entirely lock-free (spec-ok%, scoped variants' speculative path),
-// and total churn cycles.
+// `--churn-pause` no-ops between cycles. `--stripes` sweeps the address-space stripe
+// count: in mode `disjoint` the churner works stripe 0 while the mapping lives in
+// stripe 1, so the scoped variants' speculative faults validate against a seqcount the
+// churn never touches (fault-stripe-retries ~ 0); mode `same-stripe` is the
+// adversarial control with churn and mapping sharing stripe 0. Reported per
+// (variant, threads, stripes, mode): fault throughput, trylock success rate, the
+// fraction of faults resolved entirely lock-free (spec-ok%), the speculative retries
+// charged to the mapping's stripe, and total churn cycles.
 //
 // Flags: --variants=stock,tree-full,tree-refined,tree-scoped,list-full,list-refined,
-//        list-scoped --threads=1,2,4,8  --secs=0.25  --repeats=1  --pages=1024
-//        --churn-pause=4096  --csv  --json=BENCH_trylock.json
+//        list-scoped --threads=1,2,4,8 --stripes=1,4 --modes=disjoint,same-stripe
+//        --secs=0.25  --repeats=1  --pages=1024  --churn-pause=4096  --csv
+//        --json=BENCH_trylock.json
 #include <atomic>
 #include <iostream>
 #include <string>
@@ -38,24 +43,28 @@ struct RunResult {
   Summary faults_per_sec;
   double try_success_rate = 0.0;
   double spec_rate = 0.0;
+  uint64_t fault_stripe_retries = 0;  // spec retries charged to the mapping's stripe
   uint64_t churn_cycles = 0;
 };
 
 RunResult RunOne(VmVariant variant, int fault_threads, double secs, int repeats,
-                 uint64_t pages, uint64_t churn_pause) {
-  AddressSpace as(variant);
-  const uint64_t base = as.Mmap(pages * AddressSpace::kPageSize,
-                                vm::kProtRead | vm::kProtWrite);
+                 uint64_t pages, uint64_t churn_pause, unsigned stripes,
+                 bool same_stripe) {
+  AddressSpace as(variant, stripes);
+  const unsigned n = as.Stripes();
+  const unsigned map_stripe = (same_stripe || n == 1) ? 0 : 1;
+  const uint64_t base = as.MmapInStripe(map_stripe, pages * AddressSpace::kPageSize,
+                                        vm::kProtRead | vm::kProtWrite);
   std::atomic<uint64_t> churn_cycles{0};
-  // Worker tids [0, fault_threads) fault; tid == fault_threads churns. Only fault
-  // completions count as ops, so the throughput number is faults/sec.
+  // Worker tids [0, fault_threads) fault; tid == fault_threads churns in stripe 0.
+  // Only fault completions count as ops, so the throughput number is faults/sec.
   const Summary s = MeasureThroughputRepeated(
       fault_threads + 1, secs, repeats, [&](int tid, std::atomic<bool>& stop) {
         uint64_t ops = 0;
         if (tid == fault_threads) {
           while (!stop.load(std::memory_order_relaxed)) {
-            const uint64_t scratch =
-                as.Mmap(2 * AddressSpace::kPageSize, vm::kProtRead | vm::kProtWrite);
+            const uint64_t scratch = as.MmapInStripe(
+                0, 2 * AddressSpace::kPageSize, vm::kProtRead | vm::kProtWrite);
             as.Munmap(scratch, 2 * AddressSpace::kPageSize);
             churn_cycles.fetch_add(1, std::memory_order_relaxed);
             for (uint64_t i = 0; i < churn_pause; ++i) {
@@ -76,6 +85,8 @@ RunResult RunOne(VmVariant variant, int fault_threads, double secs, int repeats,
   r.faults_per_sec = s;
   r.try_success_rate = as.Stats().FaultTrySuccessRate();
   r.spec_rate = as.Stats().FaultSpecRate();
+  r.fault_stripe_retries =
+      as.Stats().stripe(map_stripe).fault_spec_retry.load(std::memory_order_relaxed);
   r.churn_cycles = churn_cycles.load(std::memory_order_relaxed);
   return r;
 }
@@ -87,12 +98,15 @@ int main(int argc, char** argv) {
   srl::Cli cli(argc, argv);
   if (cli.Has("--help")) {
     std::cout << "abl_trylock --variants=stock,tree-full,tree-refined,tree-scoped,"
-                 "list-full,list-refined,list-scoped --threads=1,2,4,8 --secs=0.25 "
-                 "--repeats=1 --pages=1024 --churn-pause=4096 --csv "
-                 "--json=BENCH_trylock.json\n";
+                 "list-full,list-refined,list-scoped --threads=1,2,4,8 --stripes=1,4 "
+                 "--modes=disjoint,same-stripe --secs=0.25 --repeats=1 --pages=1024 "
+                 "--churn-pause=4096 --csv --json=BENCH_trylock.json\n";
     return 0;
   }
   const std::vector<int> threads = cli.GetIntList("--threads", {1, 2, 4, 8});
+  const std::vector<int> stripe_list = cli.GetIntList("--stripes", {1, 4});
+  const std::vector<std::string> modes =
+      cli.GetStringList("--modes", {"disjoint", "same-stripe"});
   const double secs = cli.GetDouble("--secs", 0.25);
   const int repeats = static_cast<int>(cli.GetInt("--repeats", 1));
   const uint64_t pages = static_cast<uint64_t>(cli.GetInt("--pages", 1024));
@@ -105,8 +119,9 @@ int main(int argc, char** argv) {
                      "list-refined", "list-scoped"});
 
   std::cout << "\n=== trylock-first fault path under mmap/munmap churn ===\n";
-  srl::Table table({"variant", "threads", "faults/sec", "rel-stddev%", "try-success%",
-                    "spec-ok%", "churn-cycles"});
+  srl::Table table({"variant", "threads", "stripes", "mode", "faults/sec",
+                    "rel-stddev%", "try-success%", "spec-ok%", "fault-stripe-retries",
+                    "churn-cycles"});
   for (const std::string& name : names) {
     bool ok = false;
     const srl::vm::VmVariant variant = srl::vm::VmVariantFromName(name, &ok);
@@ -115,12 +130,24 @@ int main(int argc, char** argv) {
       return 2;
     }
     for (int t : threads) {
-      const srl::RunResult r = srl::RunOne(variant, t, secs, repeats, pages, churn_pause);
-      table.AddRow({name, std::to_string(t), srl::Table::Num(r.faults_per_sec.mean, 0),
-                    srl::Table::Num(r.faults_per_sec.RelStddevPct(), 1),
-                    srl::Table::Num(r.try_success_rate * 100.0, 2),
-                    srl::Table::Num(r.spec_rate * 100.0, 2),
-                    std::to_string(r.churn_cycles)});
+      for (int stripes : stripe_list) {
+        for (const std::string& mode : modes) {
+          const bool same = mode == "same-stripe";
+          if (same && stripes <= 1) {
+            continue;  // identical to disjoint at one stripe
+          }
+          const srl::RunResult r =
+              srl::RunOne(variant, t, secs, repeats, pages, churn_pause,
+                          static_cast<unsigned>(stripes), same);
+          table.AddRow({name, std::to_string(t), std::to_string(stripes), mode,
+                        srl::Table::Num(r.faults_per_sec.mean, 0),
+                        srl::Table::Num(r.faults_per_sec.RelStddevPct(), 1),
+                        srl::Table::Num(r.try_success_rate * 100.0, 2),
+                        srl::Table::Num(r.spec_rate * 100.0, 2),
+                        std::to_string(r.fault_stripe_retries),
+                        std::to_string(r.churn_cycles)});
+        }
+      }
     }
   }
   table.Print(std::cout, csv);

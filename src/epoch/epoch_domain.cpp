@@ -1,5 +1,6 @@
 #include "src/epoch/epoch_domain.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -31,15 +32,20 @@ EpochDomain::ThreadRec* EpochDomain::AcquireRec() {
 }
 
 void EpochDomain::ReleaseRec(ThreadRec* rec) {
-  if (rec->depth > 0) {
+  if (rec->depth.load(std::memory_order_relaxed) > 0) {
     // An EpochQuantumGuard left its quantum open (the only legitimate way depth
     // outlives a scope). Close it so a Barrier() snapshotting this record's odd epoch
     // is not left waiting on a thread that will never run again, and so the slot's
-    // next owner starts from clean state.
-    rec->depth = 0;
+    // next owner starts from clean state. CAS: a barrier watchdog may have closed (or
+    // be closing) the idle section already.
+    rec->depth.store(0, std::memory_order_relaxed);
     rec->quantum_ops = 0;
-    rec->quantum_open = false;
-    rec->epoch.fetch_add(1, std::memory_order_release);
+    rec->quantum_open.store(false, std::memory_order_relaxed);
+    rec->quantum_revoked.store(false, std::memory_order_relaxed);
+    uint64_t e = rec->epoch.load(std::memory_order_relaxed);
+    while ((e & 1) != 0 &&
+           !rec->epoch.compare_exchange_weak(e, e + 1, std::memory_order_release)) {
+    }
   }
   rec->in_use.store(false, std::memory_order_release);
 }
@@ -84,11 +90,79 @@ bool EpochDomain::QuiescentNow(const ThreadRec* self) const {
   return true;
 }
 
-void EpochDomain::Barrier(const ThreadRec* self) const {
-  GraceTicket ticket = Snapshot(self);
+void EpochDomain::Barrier(const ThreadRec* self) {
+  // Direct wait over the records (not a GraceTicket): the watchdog needs the owning
+  // ThreadRec of each unfinished section, which a ticket's bare epoch pointers lose.
+  struct Wait {
+    ThreadRec* rec;
+    uint64_t seen_epoch;
+    uint64_t seen_ticks;
+    std::chrono::steady_clock::time_point revoked_at;  // zero until notice posted
+  };
+  std::vector<Wait> waits;
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  waits.reserve(hw);
+  for (std::size_t i = 0; i < hw; ++i) {
+    ThreadRec& rec = recs_[i];
+    if (&rec == self || !rec.in_use.load(std::memory_order_acquire)) {
+      continue;
+    }
+    const uint64_t e = rec.epoch.load(std::memory_order_seq_cst);
+    if ((e & 1) != 0) {
+      waits.push_back({&rec, e, rec.quantum_ticks.load(std::memory_order_relaxed), {}});
+    }
+  }
+
+  const std::chrono::nanoseconds threshold = ForceQuiesceAfter();
+  const auto started = std::chrono::steady_clock::now();
   SpinWait spin;
-  while (!ticket.Elapsed()) {
-    spin.Spin();
+  while (!waits.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < waits.size(); ++i) {
+      Wait w = waits[i];
+      if (w.rec->epoch.load(std::memory_order_seq_cst) != w.seen_epoch) {
+        continue;  // section exited (or refreshed/acknowledged) — elapsed
+      }
+      if (threshold.count() > 0 && now - started >= threshold) {
+        // Watchdog: only an *idle quantum* is evictable — quantum open, exactly the
+        // quantum's own depth unit (a nested plain guard may hold references), and the
+        // guard-scope heartbeat even (between guards) and unmoving since the snapshot.
+        const uint64_t ticks = w.rec->quantum_ticks.load(std::memory_order_seq_cst);
+        const bool idle_quantum =
+            w.rec->quantum_open.load(std::memory_order_relaxed) &&
+            w.rec->depth.load(std::memory_order_relaxed) == 1 && (ticks & 1) == 0 &&
+            ticks == w.seen_ticks;
+        if (!idle_quantum) {
+          // Heartbeat moved or a guard is live: re-arm the observation.
+          w.seen_ticks = ticks;
+          w.revoked_at = {};
+        } else if (w.revoked_at == std::chrono::steady_clock::time_point{}) {
+          // Post the eviction notice, then keep observing: an owner that wakes now
+          // acknowledges by refreshing its section (epoch moves — handled above).
+          w.rec->quantum_revoked.store(true, std::memory_order_seq_cst);
+          w.revoked_at = now;
+        } else if (now - w.revoked_at >= kRevokeConfirmWindow) {
+          // Notice unacknowledged and the heartbeat provably still for the whole
+          // confirmation window: the owner is parked between guards and holds
+          // nothing. Close the section for it. CAS on the snapshotted value — if the
+          // owner woke at the last instant, its refresh wins and we observe the epoch
+          // move on the next pass.
+          uint64_t expect = w.seen_epoch;
+          if (w.rec->epoch.compare_exchange_strong(expect, expect + 1,
+                                                   std::memory_order_seq_cst)) {
+            forced_quiesces_.fetch_add(1, std::memory_order_relaxed);
+            continue;  // section closed — elapsed
+          }
+          continue;  // owner refreshed concurrently — also elapsed
+        }
+      }
+      waits[keep++] = w;
+    }
+    waits.resize(keep);
+    if (!waits.empty()) {
+      spin.Spin();
+    }
   }
 }
 

@@ -21,6 +21,7 @@
 #define SRL_EPOCH_EPOCH_DOMAIN_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -38,15 +39,26 @@ class EpochDomain {
  public:
   static constexpr std::size_t kMaxThreads = 512;
 
-  // Per-thread epoch record. Obtained once per thread (cached in a thread_local by
-  // ThreadSlot below) and released when the thread exits.
+  // Per-thread epoch record. Obtained once per thread (cached in a ThreadSlot by
+  // CurrentThreadRec) and released when the thread exits. Fields beyond `epoch` and
+  // `in_use` are written by the owning thread only (relaxed atomics where the barrier
+  // watchdog also reads them; `quantum_ops` stays plain because nothing else looks).
   struct alignas(kCacheLineSize) ThreadRec {
     std::atomic<uint64_t> epoch{0};   // odd while inside a critical section
     std::atomic<bool> in_use{false};  // slot allocated to a live thread
-    uint32_t depth = 0;               // nesting level; owner-thread access only
-    // Epoch-per-quantum state (EpochQuantumGuard); owner-thread access only.
-    uint32_t quantum_ops = 0;         // operations completed in the open quantum
-    bool quantum_open = false;        // quantum owns one `depth` unit while true
+    std::atomic<uint32_t> depth{0};   // nesting level; owner-thread writes only
+    // Epoch-per-quantum state (EpochQuantumGuard).
+    uint32_t quantum_ops = 0;                 // operations completed in the open quantum
+    std::atomic<bool> quantum_open{false};    // quantum owns one `depth` unit while true
+    // Guard-scope heartbeat: bumped on quantum-guard entry (odd = inside a guard's
+    // scope) and exit (even = parked between guards). The barrier watchdog samples it
+    // to tell "idle between guards, holding nothing" from "preempted mid-guard".
+    std::atomic<uint64_t> quantum_ticks{0};
+    // Set by a barrier that has been waiting on this record's idle-open quantum: a
+    // polite eviction notice. The owner acknowledges on its next guard by refreshing
+    // (or reopening) its section; a barrier that waits past the force-quiesce
+    // threshold with the notice unacknowledged closes the section itself.
+    std::atomic<bool> quantum_revoked{false};
   };
 
   EpochDomain() = default;
@@ -68,31 +80,75 @@ class EpochDomain {
   // Marks the start of a critical section for `rec` (epoch becomes odd). Reentrant:
   // nested Enter/Exit pairs (e.g. a range-lock acquisition inside a skip-list
   // operation's critical section) only toggle the epoch at the outermost level, so the
-  // whole nest stays protected.
+  // whole nest stays protected. A nested Enter piggy-backs on an existing section —
+  // usually an open quantum's — so it must also defend against the barrier watchdog:
+  // it bumps the guard-scope heartbeat (making the section visibly live), then
+  // validates the section was not (and is not being) force-quiesced, refreshing or
+  // reopening it via CAS on the epoch word so this Enter and a concurrent force-close
+  // can never both win. Without that, a plain guard entered into an idle quantum in
+  // the instant the watchdog decides could run inside a closed section.
   static void Enter(ThreadRec* rec) {
-    if (rec->depth++ == 0) {
+    const uint32_t d = rec->depth.load(std::memory_order_relaxed);
+    rec->depth.store(d + 1, std::memory_order_relaxed);
+    if (d == 0) {
       rec->epoch.fetch_add(1, std::memory_order_seq_cst);
+      return;
+    }
+    rec->quantum_ticks.store(rec->quantum_ticks.load(std::memory_order_relaxed) + 1,
+                             std::memory_order_relaxed);
+    uint64_t e = rec->epoch.load(std::memory_order_relaxed);
+    if ((e & 1) == 0) {
+      // The watchdog already closed the idle section this depth unit belongs to:
+      // reopen before any reference is taken (plain fetch_add — the watchdog never
+      // touches an even epoch).
+      rec->quantum_revoked.store(false, std::memory_order_relaxed);
+      rec->epoch.fetch_add(1, std::memory_order_seq_cst);
+    } else if (rec->quantum_revoked.load(std::memory_order_relaxed)) {
+      // Eviction notice posted: acknowledge by refreshing in place (odd -> odd),
+      // racing the watchdog's close CAS on the same expected value.
+      rec->quantum_revoked.store(false, std::memory_order_relaxed);
+      if (!rec->epoch.compare_exchange_strong(e, e + 2, std::memory_order_seq_cst)) {
+        rec->epoch.fetch_add(1, std::memory_order_seq_cst);  // e reloaded even: reopen
+      }
     }
   }
 
   // Marks the end of a critical section for `rec` (epoch becomes even again at the
-  // outermost level).
+  // outermost level). Nested exits bump the heartbeat back to even, mirroring Enter.
   static void Exit(ThreadRec* rec) {
-    if (--rec->depth == 0) {
+    const uint32_t d = rec->depth.load(std::memory_order_relaxed) - 1;
+    rec->depth.store(d, std::memory_order_relaxed);
+    if (d == 0) {
       rec->epoch.fetch_add(1, std::memory_order_release);
+      return;
     }
+    rec->quantum_ticks.store(rec->quantum_ticks.load(std::memory_order_relaxed) + 1,
+                             std::memory_order_relaxed);
   }
 
   // Closes `rec`'s open epoch-per-quantum section, if any (see EpochQuantumGuard).
   // Always safe on the owning thread: quantum sections hold no references between
   // guards. MANDATORY before running Barrier(): two threads barriering with their
   // quanta open would otherwise each wait forever on the other's idle odd epoch —
-  // each barrier skips only *self*.
+  // each barrier skips only *self* (the watchdog would eventually break the tie, but
+  // only after the force-quiesce threshold). If the watchdog already force-closed the
+  // section, only the depth unit is dropped; the CAS keeps owner and watchdog from
+  // both closing it.
   static void QuiesceQuantum(ThreadRec* rec) {
-    if (rec->quantum_open) {
-      rec->quantum_open = false;
-      rec->quantum_ops = 0;
-      Exit(rec);
+    if (!rec->quantum_open.load(std::memory_order_relaxed)) {
+      return;
+    }
+    rec->quantum_open.store(false, std::memory_order_relaxed);
+    rec->quantum_ops = 0;
+    rec->quantum_revoked.store(false, std::memory_order_relaxed);
+    const uint32_t d = rec->depth.load(std::memory_order_relaxed) - 1;
+    rec->depth.store(d, std::memory_order_relaxed);
+    if (d != 0) {
+      return;  // nested guards still own the section
+    }
+    uint64_t e = rec->epoch.load(std::memory_order_relaxed);
+    while ((e & 1) != 0 &&
+           !rec->epoch.compare_exchange_weak(e, e + 1, std::memory_order_release)) {
     }
   }
 
@@ -154,14 +210,53 @@ class EpochDomain {
   // from any live traversal and may be reclaimed. `self` (may be null) is skipped.
   // Callers must close their own open quantum first (QuiesceQuantum) — see GraceTicket
   // for the non-blocking alternative that needs no such care.
-  void Barrier(const ThreadRec* self = nullptr) const;
+  //
+  // Watchdog: a quantum section that stays *idle* — open, exactly one depth unit, its
+  // tick heartbeat even and unmoving — past ForceQuiesceAfter() is force-quiesced from
+  // the barrier side, so one thread parked between guards cannot pin retired memory
+  // forever (the classic failure mode of quiescent-state schemes; liburcu answers it
+  // with an explicit offline call, this answers it with eviction). Protocol: the
+  // barrier posts a revocation notice, keeps observing for a confirmation window, and
+  // only then CASes the idle epoch closed; the owner's next guard notices the even
+  // epoch (or the notice) before taking any reference and re-opens a fresh section.
+  // Every close/refresh of the section is a CAS on the epoch word, so owner and
+  // watchdog can never both close it. The owner's fast path stays free of fences: the
+  // handshake instead leans on the confirmation window — a heartbeat store that a
+  // multi-millisecond observation window cannot see is not something cache-coherent
+  // hardware produces (and the standard's visibility "should" clause backs it) — the
+  // deliberate trade for keeping the quantum optimization's cost profile intact.
+  void Barrier(const ThreadRec* self = nullptr);
+
+  // Idle threshold for the barrier watchdog; zero disables force-quiesce entirely.
+  // The default is generous — the watchdog is a liveness backstop, not a scheduler.
+  void SetForceQuiesceAfter(std::chrono::nanoseconds d) {
+    force_quiesce_after_ns_.store(d.count(), std::memory_order_relaxed);
+  }
+  std::chrono::nanoseconds ForceQuiesceAfter() const {
+    return std::chrono::nanoseconds(
+        force_quiesce_after_ns_.load(std::memory_order_relaxed));
+  }
+  // Quanta force-quiesced by barriers on this domain (tests / introspection).
+  uint64_t ForcedQuiesces() const {
+    return forced_quiesces_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::chrono::nanoseconds kDefaultForceQuiesceAfter =
+      std::chrono::milliseconds(250);
 
   // Number of records currently registered (for tests / introspection).
   std::size_t LiveThreads() const;
 
  private:
+  // How long a posted revocation notice must sit unacknowledged, with the heartbeat
+  // provably still, before the barrier may close the section itself.
+  static constexpr std::chrono::nanoseconds kRevokeConfirmWindow =
+      std::chrono::milliseconds(2);
+
   ThreadRec recs_[kMaxThreads];
   std::atomic<std::size_t> high_water_{0};  // one past the highest slot ever used
+  std::atomic<int64_t> force_quiesce_after_ns_{kDefaultForceQuiesceAfter.count()};
+  std::atomic<uint64_t> forced_quiesces_{0};
 };
 
 // RAII helper binding the current thread to a domain record for the lifetime of the
@@ -214,15 +309,44 @@ class EpochQuantumGuard {
   static constexpr uint32_t kOpsPerQuantum = 64;
 
   explicit EpochQuantumGuard(EpochDomain& domain) : rec_(CurrentThreadRec(domain)) {
-    if (!rec_->quantum_open) {
+    // Heartbeat first (odd = inside a guard's scope): the barrier watchdog only evicts
+    // sections whose heartbeat is even and still, so announcing before the reuse
+    // checks below shrinks its decision window from the wrong side.
+    rec_->quantum_ticks.store(rec_->quantum_ticks.load(std::memory_order_relaxed) + 1,
+                              std::memory_order_relaxed);
+    if (!rec_->quantum_open.load(std::memory_order_relaxed)) {
       EpochDomain::Enter(rec_);
-      rec_->quantum_open = true;
+      rec_->quantum_open.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const uint64_t e = rec_->epoch.load(std::memory_order_relaxed);
+    if ((e & 1) == 0) {
+      // The barrier watchdog force-quiesced our idle quantum. Reopen a fresh section
+      // under the same depth unit before any reference is taken. Plain fetch_add is
+      // safe: the watchdog never touches an even epoch.
+      rec_->quantum_revoked.store(false, std::memory_order_relaxed);
+      rec_->quantum_ops = 0;
+      rec_->epoch.fetch_add(1, std::memory_order_seq_cst);
+    } else if (rec_->quantum_revoked.load(std::memory_order_relaxed)) {
+      // A barrier posted an eviction notice while we idled: acknowledge by refreshing
+      // the section in place (odd -> odd), which releases the barrier without ever
+      // dropping protection. CAS, because the watchdog may close the section in the
+      // same instant; if it wins, reopen.
+      rec_->quantum_revoked.store(false, std::memory_order_relaxed);
+      rec_->quantum_ops = 0;
+      uint64_t expect = e;
+      if (!rec_->epoch.compare_exchange_strong(expect, e + 2,
+                                               std::memory_order_seq_cst)) {
+        rec_->epoch.fetch_add(1, std::memory_order_seq_cst);  // expect reloaded even
+      }
     }
   }
   ~EpochQuantumGuard() {
+    rec_->quantum_ticks.store(rec_->quantum_ticks.load(std::memory_order_relaxed) + 1,
+                              std::memory_order_relaxed);
     if (++rec_->quantum_ops >= kOpsPerQuantum) {
       rec_->quantum_ops = 0;
-      rec_->quantum_open = false;
+      rec_->quantum_open.store(false, std::memory_order_relaxed);
       EpochDomain::Exit(rec_);
     }
   }

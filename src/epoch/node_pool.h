@@ -24,7 +24,10 @@
 // pool thrashes — park forces a kTargetSize malloc burst, the reap overfills, the
 // trim deletes the overfill, and the next park mallocs again (measured as a ~1.5x
 // locked-fault-path slowdown); with it, parking and the malloc traffic die out once
-// the floor covers the grace latency. Fresh pools behave exactly as the paper's
+// the floor covers the grace latency. The floor also *decays*: after a run of
+// shortage-free reap cycles it gives back one batch per further quiet cycle, so a
+// fault storm followed by a long quiet phase does not strand the storm's inventory
+// forever (see kDecayQuietRefills). Fresh pools behave exactly as the paper's
 // (target stays kTargetSize until the first shortage), which is also what keeps the
 // pool-size ablation meaningful.
 //
@@ -63,6 +66,13 @@ class NodePool {
   // pathological reader parked in a critical section cannot grow the pool without
   // limit.
   static constexpr std::size_t kMaxInventory = 64 * kTargetSize;
+  // Ratchet decay: after this many consecutive refills with no shortage (no park, no
+  // batch in flight), the learned floor gives back one batch per further quiet refill.
+  // A fault storm ratchets the floor up in minutes; without decay, the storm's
+  // inventory stays resident through hours of light load (ROADMAP: "a phase change
+  // strands inventory"). The run-up requirement keeps steady park-every-few-refills
+  // workloads from oscillating: any shortage resets the count.
+  static constexpr std::size_t kDecayQuietRefills = 8;
 
   NodePool() : rec_(CurrentThreadRec(EpochDomain::Global())) {
     Replenish(kTargetSize);
@@ -109,6 +119,8 @@ class NodePool {
   std::size_t ActiveSize() const { return active_.size; }
   std::size_t ReclaimedSize() const { return reclaimed_.size; }
   std::size_t ParkedBatches() const { return parked_.size(); }
+  // The learned inventory floor (kTargetSize when never ratcheted / fully decayed).
+  std::size_t InventoryTarget() const { return target_; }
 
   // The calling thread's pool for T. One instance per (thread, T).
   static NodePool& Local() {
@@ -176,6 +188,7 @@ class NodePool {
       return true;
     });
 
+    bool shortage = false;
     if (active_.head == nullptr && reclaimed_.head != nullptr) {
       if (EpochDomain::Global().QuiescentNow(rec_)) {
         // No concurrent critical sections: the classic barrier-and-swap, without the
@@ -184,6 +197,7 @@ class NodePool {
       } else if (parked_.size() < kMaxParkedBatches) {
         parked_.push_back({reclaimed_, EpochDomain::Global().Snapshot(rec_)});
         reclaimed_ = List{};
+        shortage = true;
         // Shortage: demand outran inventory by one grace period. Ratchet the target
         // so the replenishment below becomes standing inventory instead of being
         // trimmed away after the reap.
@@ -193,6 +207,18 @@ class NodePool {
       }
       // else: keep accumulating in `reclaimed`; a later refill retries once a parked
       // batch has been reaped.
+    }
+
+    // Ratchet decay: a reap cycle that neither parked nor has a batch in flight is
+    // evidence the grace latency is covered with room to spare; enough of them in a
+    // row and the learned floor gives back one batch per quiet cycle, letting the trim
+    // below reclaim inventory a past storm stranded.
+    if (shortage) {
+      quiet_refills_ = 0;
+    } else if (parked_.empty() && target_ > kTargetSize &&
+               ++quiet_refills_ >= kDecayQuietRefills) {
+      --quiet_refills_;  // hold at the threshold: one batch per further quiet refill
+      target_ -= kTargetSize;
     }
 
     if (active_.size < target_ / 2) {
@@ -228,8 +254,11 @@ class NodePool {
   List reclaimed_;
   std::vector<Parked> parked_;
   // Learned inventory floor: kTargetSize until the first shortage, ratcheted up one
-  // batch per park, never above kMaxInventory. See the header comment.
+  // batch per park, decayed one batch per quiet reap cycle after a quiet run-up,
+  // never above kMaxInventory. See the header comment.
   std::size_t target_ = kTargetSize;
+  // Consecutive shortage-free refills (see kDecayQuietRefills).
+  std::size_t quiet_refills_ = 0;
 };
 
 }  // namespace srl

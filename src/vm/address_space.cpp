@@ -4,7 +4,6 @@
 #include <thread>
 
 #include "src/epoch/epoch_domain.h"
-#include "src/epoch/retire_list.h"
 
 namespace srl::vm {
 
@@ -41,6 +40,19 @@ VariantConfig ConfigFor(VmVariant v) {
   return {VmLockKind::kStock, false, false, false};
 }
 
+unsigned ResolveStripes(VmVariant v, unsigned stripes) {
+  if (stripes != 0) {
+    return stripes;  // VmaIndex clamps and rounds up to a power of two
+  }
+  if (!ConfigFor(v).scoped_structural) {
+    // Full-range structural ops serialize everything anyway; one stripe keeps the
+    // control variants bit-for-bit identical to the unstriped design.
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 }  // namespace
 
 const char* VmVariantName(VmVariant v) {
@@ -67,15 +79,34 @@ const char* VmVariantName(VmVariant v) {
   return "?";
 }
 
-AddressSpace::AddressSpace(VmVariant variant) : variant_(variant) {
+AddressSpace::AddressSpace(VmVariant variant, unsigned stripes)
+    : variant_(variant), index_(ResolveStripes(variant, stripes)) {
   const VariantConfig cfg = ConfigFor(variant);
   refine_fault_ = cfg.refine_fault;
   refine_mprotect_ = cfg.refine_mprotect;
   scoped_structural_ = cfg.scoped_structural;
+  stripes_ = index_.StripeCount();
   lock_ = MakeVmLock(cfg.kind);
+  stats_.ConfigureStripes(stripes_);
+  // kPageSize is 2^12; the page table's stripe bits sit kStripeShift - 12 up from the
+  // window origin (kMmapBase is not span-aligned, so the origin must be subtracted).
+  pages_.ConfigureStripes(VmaIndex::kStripeShift - 12, kMmapBase / kPageSize, stripes_);
+  cursors_ = std::make_unique<CacheAligned<std::atomic<uint64_t>>[]>(stripes_);
+  for (unsigned i = 0; i < stripes_; ++i) {
+    cursors_[i].value.store(VmaIndex::WindowBase(i), std::memory_order_relaxed);
+  }
 }
 
 AddressSpace::~AddressSpace() = default;
+
+unsigned AddressSpace::HomeStripe() const {
+  // Thread-registration-order token hashed into the stripe table: the first N distinct
+  // threads land on N distinct stripes (better spread than hashing opaque thread ids,
+  // same policy class).
+  static std::atomic<uint64_t> next_token{0};
+  thread_local uint64_t token = next_token.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<unsigned>(token & (stripes_ - 1));
+}
 
 Vma* AddressSpace::AllocVma(uint64_t start, uint64_t end, uint32_t prot) {
   Vma* vma = new Vma;
@@ -85,45 +116,81 @@ Vma* AddressSpace::AllocVma(uint64_t start, uint64_t end, uint32_t prot) {
   return vma;
 }
 
+uint64_t AddressSpace::CarveFromStripe(unsigned si, uint64_t size) {
+  std::atomic<uint64_t>& cursor = cursors_[si].value;
+  const uint64_t window_end = VmaIndex::WindowEnd(si);
+  uint64_t cur = cursor.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur + size < cur || cur + size > window_end) {
+      return 0;  // window exhausted: the VMA itself must fit wholly inside it
+    }
+    // One guard page between allocations keeps distinct mappings (e.g. per-thread
+    // arenas) as distinct VMAs, as separate mmap calls produce in practice. An
+    // exact-fit allocation may push the cursor past the window end, which simply
+    // exhausts the stripe for later calls.
+    if (cursor.compare_exchange_weak(cur, cur + size + kPageSize,
+                                     std::memory_order_relaxed)) {
+      return cur;
+    }
+  }
+}
+
 uint64_t AddressSpace::Mmap(uint64_t length, uint32_t prot) {
-  if (length == 0) {
+  return MmapInStripe(HomeStripe(), length, prot);
+}
+
+uint64_t AddressSpace::MmapInStripe(unsigned stripe, uint64_t length, uint32_t prot) {
+  if (length == 0 || stripe >= stripes_) {
     return 0;
   }
   stats_.mmaps.fetch_add(1, std::memory_order_relaxed);
   const uint64_t size = PageUp(length);
-  // One guard page between allocations keeps distinct mappings (e.g. per-thread arenas)
-  // as distinct VMAs, as separate mmap calls produce in practice.
-  const uint64_t addr =
-      mmap_cursor_.fetch_add(size + kPageSize, std::memory_order_relaxed);
+  uint64_t addr = 0;
+  unsigned si = stripe;
+  for (unsigned probe = 0; probe < stripes_; ++probe) {
+    si = (stripe + probe) & (stripes_ - 1);
+    addr = CarveFromStripe(si, size);
+    if (addr != 0) {
+      if (probe != 0) {
+        stats_.stripe(si).mmap_overflow.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+  }
+  if (addr == 0) {
+    return 0;  // every window exhausted
+  }
   // The cursor never reuses addresses, so the new VMA can neither overlap nor merge
   // with an existing one: write-locking just [addr, addr+size) covers every byte whose
-  // mapping changes. No padding is needed — the guard page guarantees no neighbour
-  // boundary is touched.
-  const Range r =
-      scoped_structural_ ? Range{addr, addr + size} : Range::Full();
+  // mapping changes. No padding is needed — the guard page (or the window edge, for an
+  // exact-fit carve) guarantees no neighbour boundary is touched.
+  const Range r = scoped_structural_ ? Range{addr, addr + size} : Range::Full();
   void* h = lock_->LockWrite(r);
-  index_.LockMutate();
-  index_.Insert(AllocVma(addr, addr + size, prot));
-  index_.UnlockMutate();
+  VmaStripe& st = index_.Stripe(si);
+  st.LockMutate();
+  st.Insert(AllocVma(addr, addr + size, prot));
+  st.UnlockMutate();
   lock_->UnlockWrite(h);
   if (scoped_structural_) {
     stats_.scoped_structural.fetch_add(1, std::memory_order_relaxed);
+    stats_.stripe(si).scoped_structural.fetch_add(1, std::memory_order_relaxed);
   }
   return addr;
 }
 
-bool AddressSpace::ApplyMunmapLocked(uint64_t s, uint64_t e) {
+bool AddressSpace::ApplyMunmapLocked(uint64_t s, uint64_t e, unsigned lo, unsigned hi) {
   bool any = false;
-  Vma* v = index_.Find(s);
+  Vma* v = index_.Find(s, lo, hi);
   while (v != nullptr && v->Start() < e) {
-    Vma* next = VmaIndex::Next(v);
+    Vma* next = index_.Next(v, hi);
     const uint64_t vs = v->Start();
     const uint64_t ve = v->End();
     if (s <= vs && e >= ve) {
       // Fully covered: remove.
       index_.EraseAndRetire(v);
     } else if (s <= vs) {
-      // Head clipped. Key grows but stays below the successor's start.
+      // Head clipped. Key grows but stays below the successor's start (and inside the
+      // VMA's window: e < ve and the VMA never straddles a stripe edge).
       v->start.store(e, std::memory_order_relaxed);
     } else if (e >= ve) {
       // Tail clipped.
@@ -158,8 +225,7 @@ bool AddressSpace::Munmap(uint64_t addr, uint64_t length) {
     {
       void* rh = lock_->LockRead({s, e});
       EpochGuard guard(EpochDomain::Global());
-      Vma* v = FindVmaForRead(s);
-      any_overlap = v != nullptr && v->Start() < e;
+      any_overlap = AnyMappingInRange(s, e);
       lock_->UnlockRead(rh);
     }
     if (!any_overlap) {
@@ -171,57 +237,122 @@ bool AddressSpace::Munmap(uint64_t addr, uint64_t length) {
     // Every byte whose mapping changes lies in [s, e); the one-page pad covers the
     // boundary writes at s and e so they conflict with any speculative mprotect moving
     // the same boundary. Classify-then-fallback: a padded range that cannot be
-    // represented (top-of-address-space wrap) degrades to the full-range path.
-    const uint64_t ls = s >= kPageSize ? s - kPageSize : 0;
-    const uint64_t le = e + kPageSize;
-    if (le > e) {
-      void* h = lock_->LockWrite({ls, le});
-      index_.LockMutate();
-      const bool any = ApplyMunmapLocked(s, e);
-      index_.UnlockMutate();
-      if (any) {
-        pages_.RemoveRange(s / kPageSize, e / kPageSize);
+    // represented (top-of-address-space wrap) or whose argument range crosses a stripe
+    // edge degrades to the full-range path.
+    unsigned si = 0;
+    uint64_t ls = 0;
+    uint64_t le = 0;
+    switch (ClassifyStructuralRange(s, e, &si, &ls, &le)) {
+      case RangeClass::kScoped: {
+        void* h = lock_->LockWrite({ls, le});
+        VmaStripe& st = index_.Stripe(si);
+        st.LockMutate();
+        const bool any = ApplyMunmapLocked(s, e, si, si);
+        st.UnlockMutate();
+        if (any) {
+          pages_.RemoveRange(s / kPageSize, e / kPageSize);
+        }
+        lock_->UnlockWrite(h);
+        stats_.scoped_structural.fetch_add(1, std::memory_order_relaxed);
+        stats_.stripe(si).scoped_structural.fetch_add(1, std::memory_order_relaxed);
+        st.MaybeFlushRetired();
+        return any;
       }
-      lock_->UnlockWrite(h);
-      stats_.scoped_structural.fetch_add(1, std::memory_order_relaxed);
-      RetireList::Local().MaybeFlush();
-      return any;
+      case RangeClass::kCrossStripe:
+        stats_.cross_stripe_fallback.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RangeClass::kWrapped:
+        break;
     }
     stats_.scoped_fallback.fetch_add(1, std::memory_order_relaxed);
+    stats_.stripe(index_.IndexOf(s))
+        .scoped_fallback.fetch_add(1, std::memory_order_relaxed);
   }
+  const unsigned lo = index_.IndexOf(s);
+  const unsigned hi = index_.IndexOf(e - 1);
   void* h = lock_->LockFullWrite();
-  index_.LockMutate();
-  const bool any = ApplyMunmapLocked(s, e);
-  index_.UnlockMutate();
+  index_.LockMutateRange(lo, hi);
+  const bool any = ApplyMunmapLocked(s, e, lo, hi);
+  index_.UnlockMutateRange(lo, hi);
   if (any) {
     pages_.RemoveRange(s / kPageSize, e / kPageSize);
   }
   lock_->UnlockWrite(h);
-  RetireList::Local().MaybeFlush();
+  index_.MaybeFlushRetired(lo, hi);
   return any;
 }
 
-bool AddressSpace::ApplyMprotectLocked(uint64_t s, uint64_t e, uint32_t prot) {
+AddressSpace::RangeClass AddressSpace::ClassifyStructuralRange(uint64_t s, uint64_t e,
+                                                               unsigned* si,
+                                                               uint64_t* ls,
+                                                               uint64_t* le) const {
+  uint64_t lo = s >= kPageSize ? s - kPageSize : 0;
+  uint64_t hi = e + kPageSize;
+  if (hi <= e) {
+    return RangeClass::kWrapped;  // pad overflowed the top of the address space
+  }
+  const unsigned stripe = index_.IndexOf(s);
+  if (stripe != index_.IndexOf(e - 1)) {
+    return RangeClass::kCrossStripe;  // the argument range itself spans stripes
+  }
+  // Clamp the pads at the stripe's window edges. Sound because nothing interacts
+  // across an edge: no VMA straddles one, so a boundary at a window base/end has no
+  // neighbour on the far side for a merge, clip, or speculative boundary move to
+  // touch — the pad would conflict with operations that cannot exist. (The clamp only
+  // applies when [s, e) itself is inside the window; ranges in the clamped margins
+  // outside all windows keep their full pads.)
+  const uint64_t wb = VmaIndex::WindowBase(stripe);
+  const uint64_t we = VmaIndex::WindowEnd(stripe);
+  if (wb <= s && lo < wb) {
+    lo = wb;
+  }
+  if (we >= e && hi > we) {
+    hi = we;
+  }
+  if (index_.IndexOf(lo) != index_.IndexOf(hi - 1)) {
+    return RangeClass::kCrossStripe;  // pad still crosses (range in a clamped margin)
+  }
+  *si = stripe;
+  *ls = lo;
+  *le = hi;
+  return RangeClass::kScoped;
+}
+
+bool AddressSpace::AnyMappingInRange(uint64_t s, uint64_t e) {
+  const unsigned lo = index_.IndexOf(s);
+  const unsigned hi = index_.IndexOf(e - 1);
+  for (unsigned i = lo; i <= hi; ++i) {
+    const VmaStripe& st = index_.Stripe(i);
+    Vma* v = scoped_structural_ ? st.FindOptimistic(s, &stats_) : st.Find(s);
+    if (v != nullptr && v->Start() < e) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AddressSpace::ApplyMprotectLocked(uint64_t s, uint64_t e, uint32_t prot,
+                                       unsigned lo, unsigned hi) {
   // Coverage check first — no partial effects on ENOMEM, matching the kernel's
   // behaviour for the common case.
   {
     uint64_t cur = s;
-    Vma* v = index_.Find(s);
+    Vma* v = index_.Find(s, lo, hi);
     while (cur < e) {
       if (v == nullptr || v->Start() > cur) {
         return false;
       }
       cur = v->End();
-      v = VmaIndex::Next(v);
+      v = index_.Next(v, hi);
     }
   }
   // Split so that [s, e) is tiled by whole VMAs, flipping protections as we go. Splits
   // always keep the existing node as the left piece (its tree key is unchanged) and
   // insert the right piece as a new node, so tree order is never transiently violated.
-  Vma* v = index_.Find(s);
+  Vma* v = index_.Find(s, lo, hi);
   while (v != nullptr && v->Start() < e) {
     if (v->Prot() == prot) {
-      v = VmaIndex::Next(v);
+      v = index_.Next(v, hi);
       continue;
     }
     if (v->Start() < s) {
@@ -237,14 +368,17 @@ bool AddressSpace::ApplyMprotectLocked(uint64_t s, uint64_t e, uint32_t prot) {
       index_.Insert(tail);
     }
     v->prot.store(prot, std::memory_order_relaxed);
-    v = VmaIndex::Next(v);
+    v = index_.Next(v, hi);
   }
   // Merge sweep over the affected neighbourhood (the kernel merges eagerly in
-  // vma_merge; we restore the canonical form after the fact).
-  Vma* m = index_.Find(s == 0 ? 0 : s - 1);
+  // vma_merge; we restore the canonical form after the fact). Never across a stripe
+  // edge: the merged VMA would straddle two windows, breaking the invariant that an
+  // address's stripe locates its covering VMA.
+  Vma* m = index_.Find(s == 0 ? 0 : s - 1, lo, hi);
   while (m != nullptr && m->Start() <= e) {
-    Vma* next = VmaIndex::Next(m);
-    if (next != nullptr && m->End() == next->Start() && m->Prot() == next->Prot()) {
+    Vma* next = index_.Next(m, hi);
+    if (next != nullptr && m->End() == next->Start() && m->Prot() == next->Prot() &&
+        index_.IndexOf(m->Start()) == index_.IndexOf(next->Start())) {
       m->end.store(next->End(), std::memory_order_relaxed);
       index_.EraseAndRetire(next);
       continue;  // try to absorb further
@@ -256,12 +390,23 @@ bool AddressSpace::ApplyMprotectLocked(uint64_t s, uint64_t e, uint32_t prot) {
 
 bool AddressSpace::ScopedStructuralMprotect(uint64_t s, uint64_t e, uint32_t prot,
                                             bool* ok) {
-  const uint64_t ls = s >= kPageSize ? s - kPageSize : 0;
-  const uint64_t le = e + kPageSize;
-  if (le <= e) {
-    return false;  // padded range wraps: not representable, take the full path
+  unsigned si = 0;
+  uint64_t ls = 0;
+  uint64_t le = 0;
+  switch (ClassifyStructuralRange(s, e, &si, &ls, &le)) {
+    case RangeClass::kScoped:
+      break;
+    case RangeClass::kCrossStripe:
+      // The argument range spans a stripe edge: the single-stripe lock cannot cover
+      // every boundary this op may move. Degrade to the full path, which fences all
+      // affected stripes.
+      stats_.cross_stripe_fallback.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    case RangeClass::kWrapped:
+      return false;  // padded range wraps: not representable, take the full path
   }
   void* h = lock_->LockWrite({ls, le});
+  VmaStripe& st = index_.Stripe(si);
   // Classify-then-fallback (the structural analogue of SpecCase): every boundary and
   // protection write of ApplyMprotectLocked lands in [s, e] — except the merge sweep,
   // which can absorb (erase) a VMA extending past the locked span. Only VMAs already
@@ -270,26 +415,27 @@ bool AddressSpace::ScopedStructuralMprotect(uint64_t s, uint64_t e, uint32_t pro
   // starting exactly at e) is never split and survives to the sweep whole. Erasing a
   // VMA whose bytes we did not lock would race readers of those bytes, so any such
   // candidate escapes to the full-range path. The scan itself mutates nothing and runs
-  // under the stable tree lock, stalling optimistic walkers only once the seqlock
+  // under the stable stripe lock, stalling optimistic walkers only once the seqlock
   // write section opens for the actual mutation.
-  index_.LockStable();
+  st.LockStable();
   bool escapes = false;
-  for (Vma* v = index_.Find(s); v != nullptr && v->Start() <= e; v = VmaIndex::Next(v)) {
+  for (Vma* v = st.Find(s); v != nullptr && v->Start() <= e; v = VmaStripe::Next(v)) {
     if (v->Prot() == prot && v->End() > le) {
       escapes = true;
       break;
     }
   }
   if (escapes) {
-    index_.UnlockStable();
+    st.UnlockStable();
     lock_->UnlockWrite(h);
     return false;
   }
-  index_.UpgradeStableToMutate();
-  *ok = ApplyMprotectLocked(s, e, prot);
-  index_.UnlockMutate();
+  st.UpgradeStableToMutate();
+  *ok = ApplyMprotectLocked(s, e, prot, si, si);
+  st.UnlockMutate();
   lock_->UnlockWrite(h);
   stats_.scoped_structural.fetch_add(1, std::memory_order_relaxed);
+  stats_.stripe(si).scoped_structural.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -303,8 +449,10 @@ AddressSpace::SpecCase AddressSpace::ClassifySpeculative(Vma* vma, uint64_t s, u
   if (vma->Prot() == prot) {
     return SpecCase::kNoop;
   }
-  Vma* prev = VmaIndex::Prev(vma);
-  Vma* next = VmaIndex::Next(vma);
+  // Stripe-local neighbours: a VMA starting at its window base has no in-tree
+  // predecessor, so boundary moves never cross a stripe edge by construction.
+  Vma* prev = VmaStripe::Prev(vma);
+  Vma* next = VmaStripe::Next(vma);
   const bool prev_mergeable =
       prev != nullptr && prev->End() == vs && prev->Prot() == prot;
   const bool next_mergeable =
@@ -341,17 +489,21 @@ bool AddressSpace::Mprotect(uint64_t addr, uint64_t length, uint32_t prot) {
       if (scoped_structural_) {
         bool ok = false;
         if (ScopedStructuralMprotect(s, e, prot, &ok)) {
-          RetireList::Local().MaybeFlush();
+          index_.StripeFor(s).MaybeFlushRetired();
           return ok;
         }
         stats_.scoped_fallback.fetch_add(1, std::memory_order_relaxed);
+        stats_.stripe(index_.IndexOf(s))
+            .scoped_fallback.fetch_add(1, std::memory_order_relaxed);
       }
+      const unsigned lo = index_.IndexOf(s);
+      const unsigned hi = index_.IndexOf(e - 1);
       void* h = lock_->LockFullWrite();
-      index_.LockMutate();
-      const bool ok = ApplyMprotectLocked(s, e, prot);
-      index_.UnlockMutate();
+      index_.LockMutateRange(lo, hi);
+      const bool ok = ApplyMprotectLocked(s, e, prot, lo, hi);
+      index_.UnlockMutateRange(lo, hi);
       lock_->UnlockWrite(h);
-      RetireList::Local().MaybeFlush();
+      index_.MaybeFlushRetired(lo, hi);
       return ok;
     }
 
@@ -367,33 +519,37 @@ bool AddressSpace::Mprotect(uint64_t addr, uint64_t length, uint32_t prot) {
         lock_->UnlockRead(rh);
         return false;  // start address unmapped — ENOMEM
       }
-      const uint64_t seq = index_.ReadSeq();
+      // The covering VMA's stripe is s's stripe (no VMA straddles a window edge);
+      // its seqcount is the §5.2 speculation validator for this attempt.
+      VmaStripe& st = index_.StripeFor(s);
+      const uint64_t seq = st.ReadSeq();
       const uint64_t aligned_start = vma->Start() - kPageSize;
       const uint64_t aligned_end = vma->End() + kPageSize;
       lock_->UnlockRead(rh);
 
       // Re-acquire for write with the range widened to the VMA plus one page on each
       // side, so concurrent boundary moves on the neighbours are excluded (§5.2). The
-      // stable tree lock holds off out-of-range structural writers (scoped variants)
+      // stable stripe lock holds off out-of-range structural writers of this stripe
       // during classification without invalidating concurrent optimistic walks.
       void* wh = lock_->LockWrite({aligned_start, aligned_end});
-      index_.LockStable();
-      if (!index_.ValidateSeq(seq) || aligned_start != vma->Start() - kPageSize ||
+      st.LockStable();
+      if (!st.ValidateSeq(seq) || aligned_start != vma->Start() - kPageSize ||
           aligned_end != vma->End() + kPageSize) {
-        index_.UnlockStable();
+        st.UnlockStable();
         lock_->UnlockWrite(wh);
         stats_.spec_retries.fetch_add(1, std::memory_order_relaxed);
         continue;  // mm_rb may have changed under us — retry from the top
       }
 
       // Metadata commits open the affected VMAs' per-VMA seqlock write sections (not
-      // the structural seqcount — §5.2: a successful speculation must not invalidate
-      // concurrent speculations or optimistic walks). The lock-free fault path is the
-      // one reader that cannot rely on a page-range acquisition to exclude these
-      // writes; its meta_seq snapshot turns a mid-commit read of (bounds, prot) — and
-      // the transient gap a boundary move passes through — into a retry. Both sections
-      // of a move open before either boundary store and close after both, so a fault
-      // racing the move observes an odd/advanced seqlock on whichever VMA it reads.
+      // the stripe's structural seqcount — §5.2: a successful speculation must not
+      // invalidate concurrent speculations or optimistic walks). The lock-free fault
+      // path is the one reader that cannot rely on a page-range acquisition to exclude
+      // these writes; its meta_seq snapshot turns a mid-commit read of (bounds, prot)
+      // — and the transient gap a boundary move passes through — into a retry. Both
+      // sections of a move open before either boundary store and close after both, so
+      // a fault racing the move observes an odd/advanced seqlock on whichever VMA it
+      // reads.
       bool fell_back = false;
       switch (ClassifySpeculative(vma, s, e, prot)) {
         case SpecCase::kNoop:
@@ -407,7 +563,7 @@ bool AddressSpace::Mprotect(uint64_t addr, uint64_t length, uint32_t prot) {
           // Shrink the receiver-side boundary last so the region transits through a
           // (locked, unreachable-to-locked-readers) gap rather than a transient
           // overlap.
-          Vma* prev = VmaIndex::Prev(vma);
+          Vma* prev = VmaStripe::Prev(vma);
           vma->meta_seq.BeginWrite();
           prev->meta_seq.BeginWrite();
           vma->start.store(e, std::memory_order_relaxed);
@@ -417,7 +573,7 @@ bool AddressSpace::Mprotect(uint64_t addr, uint64_t length, uint32_t prot) {
           break;
         }
         case SpecCase::kTailMove: {
-          Vma* next = VmaIndex::Next(vma);
+          Vma* next = VmaStripe::Next(vma);
           vma->meta_seq.BeginWrite();
           next->meta_seq.BeginWrite();
           vma->end.store(s, std::memory_order_relaxed);
@@ -432,7 +588,7 @@ bool AddressSpace::Mprotect(uint64_t addr, uint64_t length, uint32_t prot) {
           fell_back = true;
           break;
       }
-      index_.UnlockStable();
+      st.UnlockStable();
       lock_->UnlockWrite(wh);
       if (fell_back) {
         continue;  // redo on the structural path
@@ -464,19 +620,25 @@ bool AddressSpace::PageFaultLocked(uint64_t addr, bool is_write, uint64_t page_a
 //
 //   snapshot  — one epoch-quantum guard (amortized: 2 RMWs per kOpsPerQuantum faults,
 //               not per fault) keeps every VMA the walk touches dereferenceable; one
-//               bounded optimistic mm_rb walk returns the candidate VMA plus the even
-//               structural-seqcount snapshot it validated against.
+//               bounded optimistic walk of THE FAULTING ADDRESS'S STRIPE returns the
+//               candidate VMA plus the even snapshot of that stripe's structural
+//               seqcount the walk validated against. Other stripes' churn is invisible
+//               to this snapshot — the point of striping.
 //   read      — the covering VMA's (start, end, prot) under its per-VMA meta_seq
 //               seqlock, which metadata-only speculative mprotects bump (they are
-//               invisible to the structural seqcount by design).
+//               invisible to the structural seqcounts by design).
 //   install   — conditional page install for a proven-covered access.
-//   validate  — re-validate the structural seqcount and the VMA's live flag AFTER the
+//   validate  — re-validate the stripe's seqcount and the VMA's live flag AFTER the
 //               install. Install/validate in that order is the load-bearing decision:
-//               munmap bumps the seqcount (unlink) strictly before it sweeps the page
-//               table, so a fault whose install lands after the sweep observes the
-//               bump and undoes, while a fault whose validation passes had its install
-//               ordered before the unlink — and therefore before the sweep, which
-//               erases it. Either way no page survives in an unmapped range.
+//               a munmap of this stripe bumps the stripe seqcount (unlink) strictly
+//               before it sweeps the page table, so a fault whose install lands after
+//               the sweep observes the bump and undoes, while a fault whose validation
+//               passes had its install ordered before the unlink — and therefore
+//               before the sweep, which erases it. Either way no page survives in an
+//               unmapped range. (A munmap of a DIFFERENT stripe cannot unmap this
+//               address: VMAs never straddle stripe windows, so the covering mapping
+//               and the faulting address share a stripe — the per-stripe restatement
+//               of the PR 4 ordering argument.)
 //   undo/retry/fallback — a failed validation removes the page this fault installed
 //               (spurious removal of a concurrent fault's identical install is benign:
 //               it is indistinguishable from MADV_DONTNEED and the next touch
@@ -485,22 +647,27 @@ bool AddressSpace::PageFaultLocked(uint64_t addr, bool is_write, uint64_t page_a
 //               writer of the faulting page and can adjudicate negatives exactly.
 //
 // Trust discipline: a *successful* return requires the post-install validation; a
-// *SIGSEGV* return requires both the structural seqcount and the per-VMA seqlock to
+// *SIGSEGV* return requires both the stripe's seqcount and the per-VMA seqlock to
 // validate (a transient gap observed mid-boundary-move is neither — it falls back).
 int AddressSpace::PageFaultOptimistic(uint64_t addr, bool is_write, uint64_t page_addr) {
   EpochQuantumGuard guard(EpochDomain::Global());
+  const unsigned si = index_.IndexOf(addr);
+  const VmaStripe& stripe = index_.Stripe(si);
+  VmStripeStats& sstats = stats_.stripe(si);
   for (int attempt = 0; attempt < kFaultSpecAttempts; ++attempt) {
     Vma* vma = nullptr;
     uint64_t iseq = 0;
-    if (!index_.TryFindOptimistic(addr, &vma, &iseq)) {
+    if (!stripe.TryFindOptimistic(addr, &vma, &iseq)) {
       stats_.find_retries.fetch_add(1, std::memory_order_relaxed);
       stats_.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
+      sstats.find_retries.fetch_add(1, std::memory_order_relaxed);
+      sstats.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (vma == nullptr) {
-      // Above every mapping. The maximal End() only moves under a structural mutation
-      // (boundary moves need a successor), which the validated walk excludes — but the
-      // locked path adjudicates all negatives for uniformity.
+      // Above every mapping of this stripe. The maximal End() only moves under a
+      // structural mutation (boundary moves need a successor), which the validated
+      // walk excludes — but the locked path adjudicates all negatives for uniformity.
       return -1;
     }
     const uint64_t vseq = vma->meta_seq.ReadBegin();
@@ -509,6 +676,7 @@ int AddressSpace::PageFaultOptimistic(uint64_t addr, bool is_write, uint64_t pag
     const uint32_t prot = vma->Prot();
     if (!vma->meta_seq.Validate(vseq)) {
       stats_.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
+      sstats.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
       continue;  // torn metadata read: a boundary move / flip overlapped
     }
     if (vs > addr || ve <= addr) {
@@ -520,14 +688,16 @@ int AddressSpace::PageFaultOptimistic(uint64_t addr, bool is_write, uint64_t pag
     const uint32_t required = is_write ? kProtWrite : kProtRead;
     if ((prot & required) != required) {
       // Deny only against doubly-validated state: the per-VMA seqlock proved the
-      // (bounds, prot) pair consistent; an unchanged structural seqcount proves the
-      // VMA was live and un-clipped for the whole read window.
-      if (index_.ValidateSeq(iseq) && !vma->Detached()) {
+      // (bounds, prot) pair consistent; an unchanged stripe seqcount proves the VMA
+      // was live and un-clipped for the whole read window.
+      if (stripe.ValidateSeq(iseq) && !vma->Detached()) {
         stats_.fault_spec_ok.fetch_add(1, std::memory_order_relaxed);
+        sstats.fault_spec_ok.fetch_add(1, std::memory_order_relaxed);
         stats_.fault_errors.fetch_add(1, std::memory_order_relaxed);
         return 0;
       }
       stats_.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
+      sstats.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
 
@@ -535,8 +705,9 @@ int AddressSpace::PageFaultOptimistic(uint64_t addr, bool is_write, uint64_t pag
       // TEST-ONLY broken ordering: validate, dawdle, then install. A munmap landing in
       // the window strands the install after the page sweep — the stale page the
       // fault-vs-unmap battery exists to catch.
-      if (!index_.ValidateSeq(iseq) || vma->Detached()) {
+      if (!stripe.ValidateSeq(iseq) || vma->Detached()) {
         stats_.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
+        sstats.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       for (uint32_t i = 0; i < test_spec_window_yields_; ++i) {
@@ -546,6 +717,7 @@ int AddressSpace::PageFaultOptimistic(uint64_t addr, bool is_write, uint64_t pag
         stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
       }
       stats_.fault_spec_ok.fetch_add(1, std::memory_order_relaxed);
+      sstats.fault_spec_ok.fetch_add(1, std::memory_order_relaxed);
       return 1;
     }
 
@@ -553,17 +725,19 @@ int AddressSpace::PageFaultOptimistic(uint64_t addr, bool is_write, uint64_t pag
     for (uint32_t i = 0; i < test_spec_window_yields_; ++i) {
       std::this_thread::yield();
     }
-    if (!index_.ValidateSeq(iseq) || vma->Detached()) {
+    if (!stripe.ValidateSeq(iseq) || vma->Detached()) {
       if (installed) {
         pages_.Remove(page_addr / kPageSize);
       }
       stats_.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
+      sstats.fault_spec_retry.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (installed) {
       stats_.major_faults.fetch_add(1, std::memory_order_relaxed);
     }
     stats_.fault_spec_ok.fetch_add(1, std::memory_order_relaxed);
+    sstats.fault_spec_ok.fetch_add(1, std::memory_order_relaxed);
     return 1;
   }
   return -1;
@@ -623,9 +797,10 @@ bool AddressSpace::MadviseDontNeed(uint64_t addr, uint64_t length) {
 std::vector<VmaInfo> AddressSpace::SnapshotVmas() {
   std::vector<VmaInfo> out;
   // The full-range write acquisition conflicts with every scoped writer and reader, so
-  // the index is quiescent and plain iteration is safe.
+  // every stripe's tree is quiescent and plain cross-stripe iteration is safe.
   void* h = lock_->LockFullWrite();
-  for (Vma* v = index_.First(); v != nullptr; v = VmaIndex::Next(v)) {
+  const unsigned last = stripes_ - 1;
+  for (Vma* v = index_.First(0, last); v != nullptr; v = index_.Next(v, last)) {
     out.push_back({v->Start(), v->End(), v->Prot()});
   }
   lock_->UnlockWrite(h);
@@ -636,17 +811,20 @@ bool AddressSpace::CheckInvariants() {
   void* h = lock_->LockFullWrite();
   bool ok = index_.ValidateStructure();
   uint64_t prev_end = 0;
-  for (Vma* v = index_.First(); ok && v != nullptr; v = VmaIndex::Next(v)) {
+  const unsigned last = stripes_ - 1;
+  for (Vma* v = index_.First(0, last); ok && v != nullptr; v = index_.Next(v, last)) {
     const uint64_t vs = v->Start();
     const uint64_t ve = v->End();
-    ok = vs < ve && vs % kPageSize == 0 && ve % kPageSize == 0 && vs >= prev_end;
+    ok = vs < ve && vs % kPageSize == 0 && ve % kPageSize == 0 && vs >= prev_end &&
+         // No VMA may straddle a stripe-window edge: stripe-local lookups depend on it.
+         index_.IndexOf(vs) == index_.IndexOf(ve - 1);
     prev_end = ve;
   }
   if (ok) {
     // No page may be present outside a mapped VMA.
     for (uint64_t page : pages_.AllPages()) {
       const uint64_t a = page * kPageSize;
-      Vma* v = index_.Find(a);
+      Vma* v = index_.Find(a, 0, last);
       if (v == nullptr || v->Start() > a) {
         ok = false;
         break;

@@ -14,12 +14,13 @@
 //         only — mmap locks [base, base+len); munmap and structural mprotect lock the
 //         argument range padded by one page on each side, which covers every boundary
 //         they can move (neighbour merges included). The rb tree itself is protected by
-//         VmaIndex's internal mutation lock + seqcount, so disjoint-range structural
+//         the owning stripe's mutation lock + seqcount, so disjoint-range structural
 //         ops proceed in parallel — the user-space analogue of the kernel's
 //         per-VMA-lock / maple-tree direction. A classify-then-fallback guard
 //         (mirroring the SpecCase protocol) degrades any operation whose padded range
-//         cannot be represented (top-of-address-space overflow) to the full-range path,
-//         so correctness never depends on the scoped reasoning in the corner cases.
+//         cannot be represented (top-of-address-space overflow) or crosses a stripe
+//         edge to the full-range path, so correctness never depends on the scoped
+//         reasoning in the corner cases.
 //   * page fault: read lock — full range, or just the faulting page when `refine_fault`
 //     is set (§5.3). Scoped variants additionally look the VMA up with a
 //     seqcount-validated optimistic walk inside an epoch critical section, because
@@ -29,16 +30,26 @@
 //     sequence number, re-lock [vma.start - page, vma.end + page) for write, validate,
 //     and fall back to the structural path whenever mm_rb would change structurally.
 //
-// The sequence number lives in VmaIndex and is bumped by every structural mutation
-// (insert / erase / key update) rather than on every full-range write release as the
-// seed did; speculators validate against it exactly as before, with fewer spurious
-// invalidations.
+// Striped address spaces (the sharding layer on top of all of the above): the mmap
+// region is carved into `Stripes()` disjoint power-of-two windows, each owning a
+// complete VmaStripe (tree, mutation lock, structural seqcount, epoch retire list) and
+// a cache-line-padded mmap cursor. A thread's mmaps carve from its *home stripe*
+// (thread-registration-order hash, overflowing to the neighbouring stripe when a
+// window is exhausted), so scoped structural ops from different threads touch no
+// shared cache line at all. Every VMA lies wholly inside one window — the allocator
+// never carves across an edge and the merge sweep never absorbs across one — so any
+// address's stripe is a shift of its value, and a speculative fault validates against
+// only its own stripe's seqcount: churn in stripe A costs faults in stripe B nothing.
+// Operations whose (padded) range crosses a stripe edge classify-then-fallback to the
+// full-range path, which locks the affected stripes in ascending order — a coherent
+// fence. The structural sequence number, the speculation validator of §5.2, and the
+// install-then-validate fault ordering all become per-stripe statements; see README
+// "Striped address spaces" for the restated ordering argument.
 //
-// Lifetime of VMA records: epoch-based reclamation (src/epoch/retire_list.h). An
-// unlinked VMA is retired by the unlinking thread and freed only after a grace period,
-// so optimistic walkers and the speculative-mprotect window (Listing 4 line 15 reads
-// vma->start with no lock held) never dereference freed memory. This replaces the
-// seed's never-free internal free list.
+// Lifetime of VMA records: epoch-based reclamation. An unlinked VMA is retired into
+// its stripe's SharedRetireList and freed only after a grace period, so optimistic
+// walkers and the speculative-mprotect window (Listing 4 line 15 reads vma->start with
+// no lock held) never dereference freed memory.
 #ifndef SRL_VM_ADDRESS_SPACE_H_
 #define SRL_VM_ADDRESS_SPACE_H_
 
@@ -96,17 +107,29 @@ class AddressSpace {
  public:
   static constexpr uint64_t kPageSize = 4096;
   // Start of the mmap arena; keeps vma.start - kPageSize from underflowing.
-  static constexpr uint64_t kMmapBase = uint64_t{1} << 30;
+  static constexpr uint64_t kMmapBase = VmaIndex::kStripeBase;
+  // Bytes per address-space stripe window.
+  static constexpr uint64_t kStripeSpan = uint64_t{1} << VmaIndex::kStripeShift;
 
-  explicit AddressSpace(VmVariant variant);
+  // `stripes` selects the address-space stripe count (clamped to [1, 64], rounded up
+  // to a power of two). 0 picks the default: one stripe per hardware thread for the
+  // scoped variants (whose structural ops are the ones that profit from sharing no
+  // state), one stripe otherwise.
+  explicit AddressSpace(VmVariant variant, unsigned stripes = 0);
   ~AddressSpace();
 
   AddressSpace(const AddressSpace&) = delete;
   AddressSpace& operator=(const AddressSpace&) = delete;
 
-  // Maps `length` bytes (rounded up to pages) with the given protection. Returns the
-  // base address (never 0 on success; 0 on failure).
+  // Maps `length` bytes (rounded up to pages) with the given protection, carving from
+  // the calling thread's home stripe. Returns the base address (never 0 on success;
+  // 0 when every stripe window is exhausted).
   uint64_t Mmap(uint64_t length, uint32_t prot);
+
+  // As Mmap, but carves from `stripe`'s window (overflowing to neighbours exactly like
+  // the home-stripe policy). Benches and tests use this to pin workloads to stripes;
+  // `stripe` must be < Stripes().
+  uint64_t MmapInStripe(unsigned stripe, uint64_t length, uint32_t prot);
 
   // Unmaps [addr, addr+length). Splits partially covered VMAs, exactly like the kernel.
   // Returns false if the range touches no mapping.
@@ -121,11 +144,12 @@ class AddressSpace {
   //
   // Scoped variants resolve the common case entirely lock-free (§5.2's speculative
   // read taken to its endgame, the user-space analogue of the kernel's per-VMA-lock
-  // fault path): an epoch-quantum-guarded optimistic mm_rb walk, a per-VMA seqcount
-  // snapshot of the covering VMA's bounds and protection, a conditional page install,
-  // then re-validation of the structural seqcount and the VMA's live flag — retrying
-  // (bounded) on any overlap and degrading to the trylock-first locked path when
-  // speculation cannot decide. See PageFaultOptimistic for the ordering argument.
+  // fault path): an epoch-quantum-guarded optimistic walk of the faulting address's
+  // stripe, a per-VMA seqcount snapshot of the covering VMA's bounds and protection, a
+  // conditional page install, then re-validation of the stripe's structural seqcount
+  // and the VMA's live flag — retrying (bounded) on same-stripe overlap and degrading
+  // to the trylock-first locked path when speculation cannot decide. See
+  // PageFaultOptimistic for the ordering argument.
   bool PageFault(uint64_t addr, bool is_write);
 
   // MADV_DONTNEED semantics: drops the pages of [addr, addr+length) so the next touch
@@ -149,11 +173,17 @@ class AddressSpace {
   VmVariant Variant() const { return variant_; }
   bool ScopedStructural() const { return scoped_structural_; }
 
+  // --- Stripe introspection ---
+  unsigned Stripes() const { return stripes_; }
+  unsigned StripeOf(uint64_t addr) const { return index_.IndexOf(addr); }
+  // The calling thread's home stripe (stable per thread for this space's stripe count).
+  unsigned HomeStripe() const;
+
   // --- Introspection (each takes the full write lock; safe any time) ---
 
   std::vector<VmaInfo> SnapshotVmas();
-  // VMAs sorted, non-overlapping, page-aligned, tree structurally valid, and no page
-  // present outside a mapped VMA.
+  // VMAs sorted, non-overlapping, page-aligned, trees structurally valid, no VMA
+  // straddling a stripe-window edge, and no page present outside a mapped VMA.
   bool CheckInvariants();
   std::size_t PresentPages() const { return pages_.Count(); }
   // Present pages within [addr, addr+length) — lock-free racy count (the fault-vs-unmap
@@ -164,12 +194,12 @@ class AddressSpace {
 
   // --- Test-only fault-ordering hooks -------------------------------------------
   // The speculative fault's correctness hinges on installing the page BEFORE
-  // re-validating the structural seqcount (a fault that loses the race to a munmap
-  // must observe the seq bump and undo, or the munmap's page sweep must observe the
-  // install — never neither). This hook inverts that order and optionally widens the
-  // race window with `window_yields` scheduler yields between validate and install, so
-  // the fault-vs-unmap oracle battery can demonstrate it catches the broken ordering.
-  // Never use outside tests.
+  // re-validating the stripe's structural seqcount (a fault that loses the race to a
+  // munmap must observe the seq bump and undo, or the munmap's page sweep must observe
+  // the install — never neither). This hook inverts that order and optionally widens
+  // the race window with `window_yields` scheduler yields between validate and
+  // install, so the fault-vs-unmap oracle battery can demonstrate it catches the
+  // broken ordering. Never use outside tests.
   void TestOnlySetSpecFaultOrdering(bool validate_before_install, uint32_t window_yields) {
     test_validate_before_install_ = validate_before_install;
     test_spec_window_yields_ = window_yields;
@@ -183,13 +213,25 @@ class AddressSpace {
 
   Vma* AllocVma(uint64_t start, uint64_t end, uint32_t prot);
 
-  // VMA lookup for read-side paths. Scoped variants cannot rely on their (partial)
-  // read acquisition to exclude structural writers, so they take the optimistic walk;
-  // everyone else walks plainly under the exclusion their lock already provides. The
-  // caller must be inside an epoch critical section when scoped.
-  Vma* FindVmaForRead(uint64_t addr) { return FindVmaForRead(addr, scoped_structural_); }
-  Vma* FindVmaForRead(uint64_t addr, bool optimistic) {
-    return optimistic ? index_.FindOptimistic(addr, &stats_) : index_.Find(addr);
+  // Bumps stripe `si`'s cursor by `size` + one guard page. Returns the carved base, or
+  // 0 when the window cannot fit `size` more bytes. The carved region never extends
+  // past the window end, so no VMA ever straddles a stripe edge.
+  uint64_t CarveFromStripe(unsigned si, uint64_t size);
+
+  // True if [s, e) overlaps any mapping. Caller holds a read acquisition covering
+  // [s, e) (and is inside an epoch critical section when scoped).
+  bool AnyMappingInRange(uint64_t s, uint64_t e);
+
+  // VMA lookup for read-side paths, confined to `addr`'s stripe (a covering VMA never
+  // straddles a stripe edge, so its stripe is the address's stripe). Scoped variants
+  // cannot rely on their (partial) read acquisition to exclude structural writers, so
+  // they take the optimistic walk; everyone else walks plainly under the exclusion
+  // their lock already provides. The caller must be inside an epoch critical section
+  // when scoped.
+  Vma* FindVmaForRead(uint64_t addr) {
+    const VmaStripe& stripe = index_.StripeFor(addr);
+    return scoped_structural_ ? stripe.FindOptimistic(addr, &stats_)
+                              : stripe.Find(addr);
   }
 
   // Fault body; caller holds the read acquisition (and an epoch guard when scoped).
@@ -201,21 +243,33 @@ class AddressSpace {
   int PageFaultOptimistic(uint64_t addr, bool is_write, uint64_t page_addr);
 
   // Retry budget before the speculative fault degrades to the locked path. Retries are
-  // caused by overlapping structural mutations (global seqcount) — rare per-fault, so
+  // caused by overlapping structural mutations of the SAME stripe — rare per-fault, so
   // a small budget keeps the worst case bounded without giving up the common case.
   static constexpr int kFaultSpecAttempts = 4;
 
-  // Munmap mutation loop; caller holds a write acquisition covering [s-pg, e+pg) (or
-  // the full range) and the index mutation lock.
-  bool ApplyMunmapLocked(uint64_t s, uint64_t e);
+  // Classification of a structural op's padded lock range [s-pg, e+pg). The pad is
+  // clamped to s's stripe window where it pokes past an edge *and* [s, e) itself stays
+  // inside: across a window edge there is nothing the pad must conflict with — no VMA
+  // straddles an edge, so no cross-edge merge, clip, or speculative boundary move
+  // exists. kScoped stores the stripe and the (clamped) lock range; kWrapped means the
+  // pad overflowed the top of the address space; kCrossStripe means [s, e) genuinely
+  // spans stripes. Both non-scoped outcomes take the full-range path.
+  enum class RangeClass { kScoped, kWrapped, kCrossStripe };
+  RangeClass ClassifyStructuralRange(uint64_t s, uint64_t e, unsigned* si, uint64_t* ls,
+                                     uint64_t* le) const;
 
-  // Full-path mprotect body; caller holds a write acquisition covering [s-pg, e+pg)
-  // (or the full range) and the index mutation lock. Returns false on uncovered
-  // ranges.
-  bool ApplyMprotectLocked(uint64_t start, uint64_t end, uint32_t prot);
+  // Munmap mutation loop; caller holds a write acquisition covering [s-pg, e+pg) (or
+  // the full range) and the mutation locks of stripes [lo, hi], which cover the range.
+  bool ApplyMunmapLocked(uint64_t s, uint64_t e, unsigned lo, unsigned hi);
+
+  // Full-path mprotect body; same caller contract as ApplyMunmapLocked. Returns false
+  // on uncovered ranges.
+  bool ApplyMprotectLocked(uint64_t s, uint64_t e, uint32_t prot, unsigned lo,
+                           unsigned hi);
 
   // Structural mprotect under a range-scoped write lock. Returns false when the padded
-  // range cannot be represented and the caller must fall back to the full-range path.
+  // range cannot be represented or crosses a stripe edge and the caller must fall back
+  // to the full-range path.
   bool ScopedStructuralMprotect(uint64_t s, uint64_t e, uint32_t prot, bool* ok);
 
   // Classification of a speculative mprotect against a single VMA (§5.2 / Figure 2).
@@ -235,11 +289,14 @@ class AddressSpace {
   bool speculate_unmap_lookup_ = false;
   bool test_validate_before_install_ = false;  // test-only; see the hook above
   uint32_t test_spec_window_yields_ = 0;
+  unsigned stripes_;  // power of two in [1, VmaIndex::kMaxStripes]
   std::unique_ptr<VmLock> lock_;
   VmaIndex index_;
   PageTable pages_;
   VmStats stats_;
-  std::atomic<uint64_t> mmap_cursor_{kMmapBase};
+  // Per-stripe mmap cursors, cache-line padded: mmaps from different home stripes
+  // bounce no shared line (the PR 4 cursor was one global atomic).
+  std::unique_ptr<CacheAligned<std::atomic<uint64_t>>[]> cursors_;
 };
 
 }  // namespace srl::vm

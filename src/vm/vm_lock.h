@@ -9,6 +9,16 @@
 // Instrumentation: attach a WaitStats sink to measure acquisition wait time (read vs
 // write), reproducing the lock_stat measurements of Figure 7. TreeVmLock additionally
 // exposes the internal spin-lock wait sink for Figure 8.
+//
+// Striped address spaces: range semantics are unchanged — a Range is a byte range, and
+// the lock neither knows nor cares about stripe boundaries. What changes is the
+// contract AddressSpace builds on top: a full-range write acquisition (LockFullWrite)
+// excludes every scoped writer and locked reader in ANY stripe, and the cross-stripe
+// fallback path pairs it with the affected stripes' index mutation locks taken in
+// ascending order — together a coherent fence over all stripes the operation touches,
+// while lock-free faults in untouched stripes proceed against their own seqcounts.
+// FullWriteAcquisitions() therefore counts exactly the operations that failed to stay
+// stripe-scoped; bench/abl_scoped_structural reports the split per variant.
 #ifndef SRL_VM_VM_LOCK_H_
 #define SRL_VM_VM_LOCK_H_
 

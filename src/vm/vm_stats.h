@@ -3,13 +3,33 @@
 // spec_success / spec_fallback reproduce the paper's ftrace observation that "the
 // majority of the calls to mprotect (over 99%) succeed in the speculative path" for the
 // GLIBC-arena workload.
+//
+// Since the address space was sharded into stripes, the counters that localize to one
+// stripe (scoped structural ops, speculative fault outcomes, optimistic-walk retries,
+// mmap cursor overflow) are additionally kept per stripe in cache-line-padded slots, so
+// the isolation claim — churn in stripe A causes no speculative-fault retries in
+// stripe B — is directly observable rather than inferred. The flat totals remain the
+// authoritative aggregates (they are bumped on the same events).
 #ifndef SRL_VM_VM_STATS_H_
 #define SRL_VM_VM_STATS_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+
+#include "src/sync/cacheline.h"
 
 namespace srl::vm {
+
+// Per-stripe slice of the counters below; see VmStats::stripe().
+struct VmStripeStats {
+  std::atomic<uint64_t> scoped_structural{0};  // structural ops completed stripe-scoped
+  std::atomic<uint64_t> scoped_fallback{0};    // ops starting in this stripe that degraded
+  std::atomic<uint64_t> fault_spec_ok{0};      // lock-free faults resolved in this stripe
+  std::atomic<uint64_t> fault_spec_retry{0};   // speculative attempts retried (same-stripe churn)
+  std::atomic<uint64_t> find_retries{0};       // optimistic walks of this stripe's tree retried
+  std::atomic<uint64_t> mmap_overflow{0};      // mmaps that overflowed INTO this stripe
+};
 
 struct VmStats {
   std::atomic<uint64_t> mmaps{0};
@@ -36,9 +56,22 @@ struct VmStats {
   // vs. the classify-then-fallback cases that had to degrade to a full-range write.
   std::atomic<uint64_t> scoped_structural{0};
   std::atomic<uint64_t> scoped_fallback{0};
-  // Optimistic mm_rb walks (VmaIndex::FindOptimistic) that overlapped a structural
+  // Of the scoped fallbacks, how many degraded because the padded range crossed a
+  // stripe edge (as opposed to being unrepresentable at the top of the address space).
+  std::atomic<uint64_t> cross_stripe_fallback{0};
+  // Optimistic mm_rb walks (VmaStripe::FindOptimistic) that overlapped a structural
   // mutation and retried.
   std::atomic<uint64_t> find_retries{0};
+
+  // --- Per-stripe slices (sized by AddressSpace at construction) ---
+
+  void ConfigureStripes(unsigned n) {
+    stripe_count_ = n;
+    per_stripe_ = std::make_unique<CacheAligned<VmStripeStats>[]>(n);
+  }
+  unsigned StripeCount() const { return stripe_count_; }
+  VmStripeStats& stripe(unsigned i) { return per_stripe_[i].value; }
+  const VmStripeStats& stripe(unsigned i) const { return per_stripe_[i].value; }
 
   // Fraction of page faults resolved entirely lock-free (scoped variants; 0 elsewhere).
   double FaultSpecRate() const {
@@ -79,6 +112,10 @@ struct VmStats {
     }
     return static_cast<double>(scoped) / static_cast<double>(scoped + full);
   }
+
+ private:
+  unsigned stripe_count_ = 0;
+  std::unique_ptr<CacheAligned<VmStripeStats>[]> per_stripe_;
 };
 
 }  // namespace srl::vm

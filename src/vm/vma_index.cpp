@@ -2,15 +2,14 @@
 
 #include <vector>
 
-#include "src/epoch/retire_list.h"
 #include "src/vm/vm_stats.h"
 
 namespace srl::vm {
 
-VmaIndex::~VmaIndex() {
-  // Nodes still linked at destruction belong to this index alone (retired nodes were
-  // already handed to their unlinking thread's RetireList). Collect first: deleting
-  // while iterating would read freed links.
+VmaStripe::~VmaStripe() {
+  // Nodes still linked at destruction belong to this stripe alone (retired nodes are
+  // in retire_, whose own destructor drains them after a barrier). Collect first:
+  // deleting while iterating would read freed links.
   std::vector<Vma*> live;
   live.reserve(tree_.Size());
   for (Vma* v = tree_.First(); v != nullptr; v = Next(v)) {
@@ -21,17 +20,17 @@ VmaIndex::~VmaIndex() {
   }
 }
 
-void VmaIndex::EraseAndRetire(Vma* vma) {
+void VmaStripe::EraseAndRetire(Vma* vma) {
   tree_.Erase(vma);
   // Published inside the open seqlock write section: a speculative fault that read this
-  // VMA's fields re-validates the structural seqcount *after* its page install, so it
+  // VMA's fields re-validates the stripe's seqcount *after* its page install, so it
   // either observes the seq bump or this flag — never a clean validation against a
   // dead mapping.
   vma->detached.store(true, std::memory_order_release);
-  RetireList::Local().Retire(vma);
+  retire_.Retire(vma);
 }
 
-Vma* VmaIndex::Find(uint64_t addr) const {
+Vma* VmaStripe::Find(uint64_t addr) const {
   Vma* n = tree_.Root();
   Vma* best = nullptr;
   while (n != nullptr) {
@@ -45,7 +44,7 @@ Vma* VmaIndex::Find(uint64_t addr) const {
   return best;
 }
 
-bool VmaIndex::TryFindOptimistic(uint64_t addr, Vma** vma, uint64_t* snapshot) const {
+bool VmaStripe::TryFindOptimistic(uint64_t addr, Vma** vma, uint64_t* snapshot) const {
   const uint64_t snap = seq_.ReadBegin();
   Vma* best = nullptr;
   Vma* n = tree_.Root();
@@ -66,7 +65,7 @@ bool VmaIndex::TryFindOptimistic(uint64_t addr, Vma** vma, uint64_t* snapshot) c
   return true;
 }
 
-Vma* VmaIndex::FindOptimistic(uint64_t addr, VmStats* stats) const {
+Vma* VmaStripe::FindOptimistic(uint64_t addr, VmStats* stats) const {
   for (;;) {
     Vma* vma = nullptr;
     uint64_t snapshot = 0;
@@ -78,5 +77,27 @@ Vma* VmaIndex::FindOptimistic(uint64_t addr, VmStats* stats) const {
     }
   }
 }
+
+namespace {
+
+unsigned RoundStripes(unsigned stripes) {
+  if (stripes < 1) {
+    stripes = 1;
+  }
+  if (stripes > VmaIndex::kMaxStripes) {
+    stripes = VmaIndex::kMaxStripes;
+  }
+  unsigned p = 1;
+  while (p < stripes) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+VmaIndex::VmaIndex(unsigned stripes)
+    : n_(RoundStripes(stripes)),
+      stripes_(std::make_unique<CacheAligned<VmaStripe>[]>(n_)) {}
 
 }  // namespace srl::vm

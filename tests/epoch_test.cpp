@@ -263,6 +263,142 @@ TEST(EpochQuantumTest, FlushWithOwnQuantumOpenCompletesAndFrees) {
   EXPECT_TRUE(ok.load());
 }
 
+// --- Barrier watchdog (force-quiesce of idle quanta) ---
+
+// One thread parked between guards with its quantum open must not pin a barrier (and
+// therefore retired memory) forever: past the force-quiesce threshold the barrier
+// evicts the idle section, and the owner's next guard re-establishes protection
+// before taking any reference.
+TEST(EpochQuantumTest, WatchdogForceQuiescesParkedQuantum) {
+  EpochDomain domain;
+  domain.SetForceQuiesceAfter(5ms);
+  std::atomic<bool> parked{false};
+  std::atomic<bool> resume{false};
+  std::atomic<bool> reopened_protected{false};
+
+  std::thread holder([&] {
+    EpochDomain::ThreadRec* rec = CurrentThreadRec(domain);
+    { EpochQuantumGuard g(domain); }  // quantum left open, thread goes idle
+    parked.store(true);
+    while (!resume.load()) {
+      std::this_thread::yield();
+    }
+    {
+      // The next guard must notice the revoked/closed section and reopen it before
+      // any reference could be taken.
+      EpochQuantumGuard g(domain);
+      reopened_protected.store((rec->epoch.load() & 1) == 1);
+    }
+    EpochQuantumQuiesce(domain);
+  });
+
+  while (!parked.load()) {
+    std::this_thread::yield();
+  }
+  domain.Barrier();  // must complete despite the parked open quantum
+  EXPECT_GE(domain.ForcedQuiesces(), 1u)
+      << "barrier completed without evicting the idle quantum — who closed it?";
+  resume.store(true);
+  holder.join();
+  EXPECT_TRUE(reopened_protected.load())
+      << "guard after revocation ran with an even epoch: references unprotected";
+  domain.Barrier();  // domain must be fully consistent afterwards
+}
+
+// A thread that exits after its idle quantum was force-quiesced must leave the domain
+// clean: ReleaseRec must not re-toggle the already-closed section into a permanently
+// odd epoch (which would hang every later barrier).
+TEST(EpochQuantumTest, WatchdogThenThreadExitKeepsDomainClean) {
+  EpochDomain domain;
+  domain.SetForceQuiesceAfter(5ms);
+  std::atomic<bool> parked{false};
+  std::atomic<bool> resume{false};
+  std::thread holder([&] {
+    { EpochQuantumGuard g(domain); }
+    parked.store(true);
+    while (!resume.load()) {
+      std::this_thread::yield();
+    }
+    // Exit with quantum state still marked open but the section already evicted.
+  });
+  while (!parked.load()) {
+    std::this_thread::yield();
+  }
+  domain.Barrier();
+  EXPECT_GE(domain.ForcedQuiesces(), 1u);
+  resume.store(true);
+  holder.join();
+  EXPECT_EQ(domain.LiveThreads(), 0u);
+  domain.Barrier();  // must not hang on the released slot
+  SUCCEED();
+}
+
+// The watchdog must never evict a section that may hold references: a thread parked
+// *inside* a nested plain guard (depth 2: the quantum's unit plus the guard's) keeps
+// the barrier blocked no matter how stale its heartbeat looks.
+TEST(EpochQuantumTest, WatchdogSparesNestedGuard) {
+  EpochDomain domain;
+  domain.SetForceQuiesceAfter(5ms);
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> barrier_done{false};
+
+  std::thread holder([&] {
+    { EpochQuantumGuard g(domain); }  // quantum open
+    EpochGuard nested(domain);        // plain guard: may legitimately hold references
+    parked.store(true);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!parked.load()) {
+    std::this_thread::yield();
+  }
+  std::thread barrier([&] {
+    domain.Barrier();
+    barrier_done.store(true);
+  });
+  EXPECT_TRUE(StaysFalse([&] { return barrier_done.load(); }))
+      << "watchdog evicted a section nested under a live plain guard";
+  EXPECT_EQ(domain.ForcedQuiesces(), 0u);
+  release.store(true);
+  barrier.join();
+  holder.join();
+  // The quantum the nested guard rode on is still open and idle; a later barrier may
+  // legitimately evict it.
+  domain.Barrier();
+}
+
+// An actively faulting thread (heartbeat moving) is never force-quiesced — its quantum
+// refreshes on schedule and the barrier completes the ordinary way.
+TEST(EpochQuantumTest, WatchdogSparesActiveQuantum) {
+  EpochDomain domain;
+  // Generous threshold: an actively guarding worker refreshes its quantum every
+  // kOpsPerQuantum guards, so each barrier completes in microseconds regardless — the
+  // threshold only has to beat scheduler freezes (TSan on a loaded runner can park a
+  // thread for hundreds of milliseconds, which must not read as "idle").
+  domain.SetForceQuiesceAfter(5s);
+  std::atomic<bool> started{false};
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EpochQuantumGuard g(domain);
+      started.store(true, std::memory_order_relaxed);
+    }
+    EpochQuantumQuiesce(domain);
+  });
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  for (int i = 0; i < 10; ++i) {
+    domain.Barrier();
+  }
+  stop.store(true);
+  worker.join();
+  EXPECT_EQ(domain.ForcedQuiesces(), 0u)
+      << "watchdog evicted a quantum whose owner was actively issuing guards";
+}
+
 TEST(NodePoolTest, AllocatesPreallocatedNodes) {
   NodePool<LNode> pool;
   EXPECT_EQ(pool.ActiveSize(), NodePool<LNode>::kTargetSize);
@@ -330,6 +466,68 @@ TEST(NodePoolTest, RefillTrimsOversizedPool) {
   for (LNode* h : held) {
     pool.Recycle(h);
   }
+}
+
+// The inventory ratchet must give back what a storm taught it once the storm is over:
+// parks (shortages) raise the learned floor; a long quiet phase decays it one batch
+// per reap cycle back to the paper's fixed target, so the storm's inventory does not
+// stay resident forever.
+TEST(NodePoolTest, InventoryRatchetDecaysWhenQuiescent) {
+  constexpr std::size_t kTarget = NodePool<LNode>::kTargetSize;
+  NodePool<LNode> pool;
+  EXPECT_EQ(pool.InventoryTarget(), kTarget);
+
+  // Storm phase: with a reader parked in a critical section, every refill that finds
+  // the active pool dry must park its reclaimed batch (grace cannot elapse) and
+  // ratchet the floor up one batch.
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> release_reader{false};
+  std::thread reader([&] {
+    EpochGuard g(EpochDomain::Global());
+    reader_in.store(true);
+    while (!release_reader.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!reader_in.load()) {
+    std::this_thread::yield();
+  }
+  constexpr int kStormCycles = 3;
+  for (int c = 0; c < kStormCycles; ++c) {
+    std::vector<LNode*> held;
+    while (pool.ActiveSize() > 0) {
+      held.push_back(pool.Alloc());
+    }
+    for (LNode* n : held) {
+      pool.Retire(n);
+    }
+    LNode* extra = pool.Alloc();  // refill: parks the reclaimed batch, ratchets
+    ASSERT_NE(extra, nullptr);
+    pool.Recycle(extra);
+  }
+  EXPECT_EQ(pool.InventoryTarget(), kTarget * (1 + kStormCycles));
+  EXPECT_GT(pool.ParkedBatches(), 0u);
+  release_reader.store(true);
+  reader.join();
+
+  // Quiet phase: every further refill reaps cleanly and parks nothing; after the
+  // run-up the floor must decay one batch per cycle, all the way back to the paper's
+  // target — and the trim rule then prunes the stranded inventory.
+  for (int c = 0; c < 64 && pool.InventoryTarget() > kTarget; ++c) {
+    std::vector<LNode*> held;
+    while (pool.ActiveSize() > 0) {
+      held.push_back(pool.Alloc());
+    }
+    LNode* extra = pool.Alloc();  // refill: reap, no shortage -> quiet cycle
+    ASSERT_NE(extra, nullptr);
+    pool.Recycle(extra);
+    for (LNode* n : held) {
+      pool.Recycle(n);
+    }
+  }
+  EXPECT_EQ(pool.InventoryTarget(), kTarget)
+      << "learned floor never decayed back to the fixed target";
+  EXPECT_EQ(pool.ParkedBatches(), 0u);
 }
 
 struct CountedObj {

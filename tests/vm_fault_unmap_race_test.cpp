@@ -45,12 +45,23 @@ namespace {
 
 constexpr uint64_t kPage = AddressSpace::kPageSize;
 
-std::string VariantTestName(const ::testing::TestParamInfo<VmVariant>& info) {
-  std::string name = VmVariantName(info.param);
+// (variant, stripe count): the battery's ordering claims are per-stripe statements
+// since the sharding refactor, so the scoped variants run against both a single-stripe
+// and a multi-stripe space (generations round-robin across stripes in the latter).
+struct RaceParam {
+  VmVariant variant;
+  unsigned stripes;
+};
+
+std::string VariantTestName(const ::testing::TestParamInfo<RaceParam>& info) {
+  std::string name = VmVariantName(info.param.variant);
   for (char& c : name) {
     if (c == '-') {
       c = '_';
     }
+  }
+  if (info.param.stripes > 1) {
+    name += "_s" + std::to_string(info.param.stripes);
   }
   return name;
 }
@@ -64,7 +75,7 @@ int GenerationBudget() {
   return 40;
 }
 
-class VmFaultUnmapRaceTest : public ::testing::TestWithParam<VmVariant> {};
+class VmFaultUnmapRaceTest : public ::testing::TestWithParam<RaceParam> {};
 
 // One mapping lifetime. Plain fields are published via the release store of the
 // generation index and never change afterwards; the retiring flags are the teardown
@@ -79,7 +90,7 @@ struct Generation {
 };
 
 TEST_P(VmFaultUnmapRaceTest, FaultVsUnmapOracle) {
-  AddressSpace as(GetParam());
+  AddressSpace as(GetParam().variant, GetParam().stripes);
   constexpr int kFaulters = 3;
   constexpr uint64_t kArenaPages = 16;
   const int generations = GenerationBudget();
@@ -135,7 +146,10 @@ TEST_P(VmFaultUnmapRaceTest, FaultVsUnmapOracle) {
     Generation& g = gens[static_cast<std::size_t>(i)];
     g.prot = (i % 2 == 0) ? (kProtRead | kProtWrite) : kProtRead;
     g.pages = kArenaPages;
-    g.base = as.Mmap(g.pages * kPage, g.prot);
+    // Generations round-robin across the stripes so every stripe's seqcount, retire
+    // list, and page-table shard group carries fault-vs-unmap races.
+    g.base = as.MmapInStripe(static_cast<unsigned>(i) % as.Stripes(), g.pages * kPage,
+                             g.prot);
     ASSERT_NE(g.base, 0u);
     published.store(i, std::memory_order_release);
 
@@ -188,7 +202,7 @@ TEST_P(VmFaultUnmapRaceTest, FaultVsUnmapOracle) {
 // oracle. The control leg re-runs the identical widened-window harness with the correct
 // ordering and must stay clean, so the detection cannot be a false positive.
 TEST_P(VmFaultUnmapRaceTest, BrokenValidateBeforeInstallIsCaught) {
-  if (!AddressSpace(GetParam()).ScopedStructural()) {
+  if (!AddressSpace(GetParam().variant).ScopedStructural()) {
     GTEST_SKIP() << "only scoped variants have the speculative fault path";
   }
   // The widened window parks the faulting thread between its two speculative steps for
@@ -198,7 +212,7 @@ TEST_P(VmFaultUnmapRaceTest, BrokenValidateBeforeInstallIsCaught) {
   constexpr int kMaxGenerations = 400;
 
   auto run_leg = [&](bool validate_before_install) {
-    AddressSpace as(GetParam());
+    AddressSpace as(GetParam().variant, GetParam().stripes);
     as.TestOnlySetSpecFaultOrdering(validate_before_install, kWindowYields);
     std::atomic<uint64_t> pub_base{0};
     std::atomic<bool> stop{false};
@@ -250,10 +264,17 @@ TEST_P(VmFaultUnmapRaceTest, BrokenValidateBeforeInstallIsCaught) {
       << "correct install-before-validate ordering left a stale page behind";
 }
 
-INSTANTIATE_TEST_SUITE_P(ScopedAndControls, VmFaultUnmapRaceTest,
-                         ::testing::Values(VmVariant::kTreeScoped, VmVariant::kListScoped,
-                                           VmVariant::kTreeFull, VmVariant::kListRefined),
-                         VariantTestName);
+INSTANTIATE_TEST_SUITE_P(
+    ScopedAndControls, VmFaultUnmapRaceTest,
+    ::testing::Values(RaceParam{VmVariant::kTreeScoped, 1},
+                      RaceParam{VmVariant::kListScoped, 1},
+                      RaceParam{VmVariant::kTreeFull, 1},
+                      RaceParam{VmVariant::kListRefined, 1},
+                      // Multi-stripe spaces: the install-then-validate ordering must
+                      // hold per stripe, with generations spread across all four.
+                      RaceParam{VmVariant::kTreeScoped, 4},
+                      RaceParam{VmVariant::kListScoped, 4}),
+    VariantTestName);
 
 }  // namespace
 }  // namespace srl::vm

@@ -30,17 +30,28 @@ namespace {
 
 constexpr uint64_t kPage = AddressSpace::kPageSize;
 
-std::string VariantTestName(const ::testing::TestParamInfo<VmVariant>& info) {
-  std::string name = VmVariantName(info.param);
+// (variant, stripe count): every battery runs single-stripe for all variants (the
+// reference semantics), and the scoped variants additionally run against a 4-stripe
+// space so the per-stripe trees, seqcounts, and retire lists carry the same load.
+struct FuzzParam {
+  VmVariant variant;
+  unsigned stripes;
+};
+
+std::string VariantTestName(const ::testing::TestParamInfo<FuzzParam>& info) {
+  std::string name = VmVariantName(info.param.variant);
   for (char& c : name) {
     if (c == '-') {
       c = '_';
     }
   }
+  if (info.param.stripes > 1) {
+    name += "_s" + std::to_string(info.param.stripes);
+  }
   return name;
 }
 
-class VmStructuralFuzzTest : public ::testing::TestWithParam<VmVariant> {};
+class VmStructuralFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
 
 // Flat reference model: page index -> prot for mapped pages, plus the present set.
 struct PageOracle {
@@ -88,11 +99,12 @@ struct PageOracle {
 };
 
 TEST_P(VmStructuralFuzzTest, SequentialMixMatchesOracle) {
-  AddressSpace as(GetParam());
+  AddressSpace as(GetParam().variant, GetParam().stripes);
   // Unmap-lookup speculation stays off here (the concurrent battery covers it): the
   // read-path probe would short-circuit missing unmaps before they can reach the
   // scoped classify-then-fallback path this battery wants to exercise.
-  Xoshiro256 rng(0x5eed + static_cast<uint64_t>(GetParam()));
+  Xoshiro256 rng(0x5eed + static_cast<uint64_t>(GetParam().variant) * 8 +
+                 GetParam().stripes);
   PageOracle oracle;
   std::vector<std::pair<uint64_t, uint64_t>> regions;  // [start, end) of mmap calls
   const uint32_t prots[] = {kProtNone, kProtRead, kProtRead | kProtWrite};
@@ -175,7 +187,7 @@ TEST_P(VmStructuralFuzzTest, SequentialMixMatchesOracle) {
 // would race readers of its unlocked bytes, so the scoped variants must classify it as
 // an escape and degrade to the full-range path — with identical semantics.
 TEST_P(VmStructuralFuzzTest, MergeAbsorbingWideNeighbourFallsBack) {
-  AddressSpace as(GetParam());
+  AddressSpace as(GetParam().variant, GetParam().stripes);
   const uint64_t a = as.Mmap(16 * kPage, kProtRead | kProtWrite);
   ASSERT_TRUE(as.Mprotect(a, kPage, kProtRead));  // split: [a, a+p) R | [a+p, a+16p) RW
   // Flipping [a, a+2p) back to RW merges all three pieces; the absorbed tail ends 13
@@ -193,7 +205,7 @@ TEST_P(VmStructuralFuzzTest, MergeAbsorbingWideNeighbourFallsBack) {
 // Concurrent battery: per-thread arenas with deterministic per-thread oracles, plus
 // disjoint-range structural churn, while a checker thread validates global invariants.
 TEST_P(VmStructuralFuzzTest, ConcurrentStructuralMixKeepsInvariants) {
-  AddressSpace as(GetParam());
+  AddressSpace as(GetParam().variant, GetParam().stripes);
   as.SetUnmapLookupSpeculation(true);
   constexpr int kThreads = 4;
   constexpr int kCycles = 4000;
@@ -224,8 +236,13 @@ TEST_P(VmStructuralFuzzTest, ConcurrentStructuralMixKeepsInvariants) {
       }
       oracle.Map(arena, kArenaPages, kProtNone);
       const uint32_t prots[] = {kProtNone, kProtRead, kProtRead | kProtWrite};
-      // Far past every mapping this run can create: miss-unmaps probe here.
-      const uint64_t nowhere = arena + (uint64_t{1} << 24) * kPage;
+      // Far past every mapping this run can create — beyond the last stripe window,
+      // where the cursor allocator never carves: miss-unmaps probe here. (arena +
+      // 2^24 pages is exactly one stripe span: on a multi-stripe space that is the
+      // NEXT stripe's arena neighbourhood, not nowhere.)
+      const uint64_t nowhere = AddressSpace::kMmapBase +
+                               as.Stripes() * AddressSpace::kStripeSpan +
+                               (uint64_t{1} << 20) * kPage;
 
       for (int c = 0; c < kCycles && ok.load(std::memory_order_relaxed); ++c) {
         const double roll = rng.NextDouble();
@@ -326,7 +343,7 @@ TEST_P(VmStructuralFuzzTest, ConcurrentStructuralMixKeepsInvariants) {
 //     single fault — a failed read there is the transient-gap bug (the walk observed
 //     the mid-boundary-move hole and mistook it for unmapped space).
 TEST_P(VmStructuralFuzzTest, MprotectDuringFaultTornReadOracle) {
-  AddressSpace as(GetParam());
+  AddressSpace as(GetParam().variant, GetParam().stripes);
   // The glibc arena shape: [anchor RW | flip region | NONE tail]. The flip region
   // ([base+2p, base+4p)) toggles between RW (expand: the head of the NONE VMA joins
   // the RW VMA — kHeadMove) and NONE (shrink: the RW VMA's tail joins the NONE VMA —
@@ -413,7 +430,7 @@ TEST_P(VmStructuralFuzzTest, MprotectDuringFaultTornReadOracle) {
       << "a read fault on the never-unmapped, always-readable anchor pages failed — "
          "the transient-gap bug (walk observed a mid-boundary-move hole)";
   EXPECT_TRUE(as.CheckInvariants());
-  const VmVariant v = GetParam();
+  const VmVariant v = GetParam().variant;
   if (v == VmVariant::kTreeRefined || v == VmVariant::kListRefined ||
       v == VmVariant::kListMprotect || v == VmVariant::kTreeScoped ||
       v == VmVariant::kListScoped) {
@@ -422,8 +439,19 @@ TEST_P(VmStructuralFuzzTest, MprotectDuringFaultTornReadOracle) {
   }
 }
 
+std::vector<FuzzParam> AllFuzzParams() {
+  std::vector<FuzzParam> params;
+  for (const VmVariant v : kAllVmVariants) {
+    params.push_back({v, 1});
+  }
+  // Multi-stripe spaces for the variants whose machinery is per-stripe.
+  params.push_back({VmVariant::kTreeScoped, 4});
+  params.push_back({VmVariant::kListScoped, 4});
+  return params;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllVariants, VmStructuralFuzzTest,
-                         ::testing::ValuesIn(kAllVmVariants), VariantTestName);
+                         ::testing::ValuesIn(AllFuzzParams()), VariantTestName);
 
 }  // namespace
 }  // namespace srl::vm

@@ -19,9 +19,16 @@ report a "rel-stddev%" column; when either side of a comparison carries a relati
 stddev above --noise-cap, the finding is reported as NOISY and does not affect the
 exit code (shared CI runners routinely show 2x swings on contended microbenches).
 
+Schema drift is reported, never silently skipped: a metric column present on only one
+side is flagged METRIC-ADDED / METRIC-REMOVED (per table), a row present only in the
+baseline is MISSING, a row present only in the current run is ADDED, and the closing
+summary counts all four — so a bench that grew (or lost) per-stripe keys shows up as
+an explicit schema change rather than a quietly shrinking comparison.
+
 Exit codes: 0 = no firm regressions, 1 = at least one firm regression, 2 = usage or
-input error. --advisory forces exit 0 while still printing everything (for CI lanes on
-shared hardware where the report is informational).
+input error. Schema drift never affects the exit code. --advisory forces exit 0 while
+still printing everything (for CI lanes on shared hardware where the report is
+informational).
 
 Usage:
     tools/perf_diff.py BASELINE CURRENT [--threshold 10] [--noise-cap 25]
@@ -37,7 +44,7 @@ import os
 import sys
 
 KEY_COLUMNS = {"variant", "threads", "readers", "lock", "segments", "pool", "list-len",
-               "workload", "mode", "bench"}
+               "workload", "mode", "bench", "stripes", "stripe", "role"}
 STDDEV_COLUMN = "rel-stddev%"
 
 
@@ -100,13 +107,33 @@ def fmt_key(key):
     return " ".join(f"{c}={v}" for c, v in key if c != "table")
 
 
+def table_headers(data):
+    """Returns {table_index: headers}."""
+    return {i: t.get("headers", []) for i, t in enumerate(data.get("tables", []))}
+
+
 def compare_bench(name, base, cur, args, findings):
-    headers = []
-    for table in base.get("tables", []):
-        headers = table.get("headers", [])
-        break
-    metrics = metric_columns(headers, args.metrics)
-    if not metrics:
+    base_headers = table_headers(base)
+    cur_headers = table_headers(cur)
+
+    # Metric-set drift, per table: a metric on only one side is schema change, not a
+    # silent skip. Comparison proceeds over the shared metrics.
+    shared_metrics = {}
+    any_metrics = False
+    for t_idx in sorted(set(base_headers) | set(cur_headers)):
+        bm = metric_columns(base_headers.get(t_idx, []), args.metrics)
+        cm = metric_columns(cur_headers.get(t_idx, []), args.metrics)
+        for col in bm:
+            if col not in cm and t_idx in cur_headers:
+                findings.append(("METRIC-REMOVED", name, f"table {t_idx}",
+                                 f"metric column '{col}' only in baseline", 0.0))
+        for col in cm:
+            if col not in bm and t_idx in base_headers:
+                findings.append(("METRIC-ADDED", name, f"table {t_idx}",
+                                 f"metric column '{col}' only in current run", 0.0))
+        shared_metrics[t_idx] = [c for c in bm if c in cm]
+        any_metrics = any_metrics or bool(bm) or bool(cm)
+    if not any_metrics:
         findings.append(("SKIP", name, "", "no throughput columns to compare", 0.0))
         return
 
@@ -125,7 +152,8 @@ def compare_bench(name, base, cur, args, findings):
             stddev = row.get(STDDEV_COLUMN)
             if isinstance(stddev, (int, float)) and stddev > args.noise_cap:
                 noisy = True
-        for col in metrics:
+        t_idx = dict(key).get("table", 0)
+        for col in shared_metrics.get(t_idx, []):
             bval, cval = brow.get(col), crow.get(col)
             if not isinstance(bval, (int, float)) or not isinstance(cval, (int, float)):
                 continue
@@ -139,6 +167,10 @@ def compare_bench(name, base, cur, args, findings):
             elif args.verbose:
                 findings.append(("OK", name, fmt_key(key),
                                  f"{col}: {bval:.0f} -> {cval:.0f}", delta))
+    for key in cur_rows:
+        if key not in base_rows:
+            findings.append(("ADDED", name, fmt_key(key),
+                             "row present only in current run", 0.0))
     if matched == 0:
         findings.append(("SKIP", name, "", "no rows matched between the two sets", 0.0))
 
@@ -174,15 +206,19 @@ def main():
 
     firm = [f for f in findings if f[0] == "REGRESSION"]
     noisy = [f for f in findings if f[0] == "NOISY-REGRESSION"]
+    schema_kinds = ("SKIP", "MISSING", "ADDED", "METRIC-ADDED", "METRIC-REMOVED")
 
     print(f"perf_diff: compared {compared or 'nothing'} at threshold "
           f"{args.threshold:.0f}% (noise cap {args.noise_cap:.0f}% rel-stddev)")
     for kind, bench, key, detail, delta in findings:
-        suffix = f"  ({delta:+.1f}%)" if kind not in ("SKIP", "MISSING") else ""
+        suffix = f"  ({delta:+.1f}%)" if kind not in schema_kinds else ""
         location = f"{bench}: {key}" if key else bench
         print(f"  [{kind}] {location}  {detail}{suffix}")
-    print(f"perf_diff: {len(firm)} firm regression(s), {len(noisy)} noisy, "
-          f"{sum(1 for f in findings if f[0] == 'MISSING')} missing row(s)")
+    counts = {k: sum(1 for f in findings if f[0] == k) for k in schema_kinds}
+    print(f"perf_diff: {len(firm)} firm regression(s), {len(noisy)} noisy; schema "
+          f"drift: {counts['ADDED']} added row(s), {counts['MISSING']} missing row(s), "
+          f"{counts['METRIC-ADDED']} added metric(s), "
+          f"{counts['METRIC-REMOVED']} removed metric(s)")
 
     if firm and not args.advisory:
         sys.exit(1)
