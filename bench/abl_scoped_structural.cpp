@@ -23,7 +23,8 @@
 // write-acquisition split (VmLock counters). A second table reports per-stripe
 // speculative-fault and structural counters for every multi-stripe run.
 //
-// Flags: --variants=stock,tree-full,tree-scoped,list-full,list-refined,list-scoped
+// Flags: --variants=stock,tree-full,tree-scoped,list-full,list-refined,list-scoped,
+//        list-lf-full,list-lf-scoped
 //        --threads=1,2,4,8  --stripes=1,4  --modes=disjoint,same-stripe
 //        --readers=2  --secs=0.25  --repeats=1  --pages=512  --scratch-pages=4
 //        --csv  --json=BENCH_scoped_structural.json
@@ -129,7 +130,8 @@ int main(int argc, char** argv) {
   srl::Cli cli(argc, argv);
   if (cli.Has("--help")) {
     std::cout << "abl_scoped_structural --variants=stock,tree-full,tree-scoped,"
-                 "list-full,list-refined,list-scoped --threads=1,2,4,8 --stripes=1,4 "
+                 "list-full,list-refined,list-scoped,list-lf-full,list-lf-scoped "
+                 "--threads=1,2,4,8 --stripes=1,4 "
                  "--modes=disjoint,same-stripe --readers=2 --secs=0.25 --repeats=1 "
                  "--pages=512 --scratch-pages=4 --csv "
                  "--json=BENCH_scoped_structural.json\n";
@@ -149,7 +151,7 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> names = cli.GetStringList(
       "--variants", {"stock", "tree-full", "tree-scoped", "list-full", "list-refined",
-                     "list-scoped"});
+                     "list-scoped", "list-lf-full", "list-lf-scoped"});
 
   std::cout << "\n=== range-scoped structural ops — disjoint-arena mmap/munmap churn "
                "with fault readers, across stripe configurations ===\n";

@@ -19,7 +19,8 @@
 // charged to the mapping's stripe, and total churn cycles.
 //
 // Flags: --variants=stock,tree-full,tree-refined,tree-scoped,list-full,list-refined,
-//        list-scoped --threads=1,2,4,8 --stripes=1,4 --modes=disjoint,same-stripe
+//        list-scoped,list-lf-full,list-lf-scoped
+//        --threads=1,2,4,8 --stripes=1,4 --modes=disjoint,same-stripe
 //        --secs=0.25  --repeats=1  --pages=1024  --churn-pause=4096  --csv
 //        --json=BENCH_trylock.json
 #include <atomic>
@@ -98,7 +99,8 @@ int main(int argc, char** argv) {
   srl::Cli cli(argc, argv);
   if (cli.Has("--help")) {
     std::cout << "abl_trylock --variants=stock,tree-full,tree-refined,tree-scoped,"
-                 "list-full,list-refined,list-scoped --threads=1,2,4,8 --stripes=1,4 "
+                 "list-full,list-refined,list-scoped,list-lf-full,list-lf-scoped "
+                 "--threads=1,2,4,8 --stripes=1,4 "
                  "--modes=disjoint,same-stripe --secs=0.25 --repeats=1 --pages=1024 "
                  "--churn-pause=4096 --csv --json=BENCH_trylock.json\n";
     return 0;
@@ -116,7 +118,7 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> names = cli.GetStringList(
       "--variants", {"stock", "tree-full", "tree-refined", "tree-scoped", "list-full",
-                     "list-refined", "list-scoped"});
+                     "list-refined", "list-scoped", "list-lf-full", "list-lf-scoped"});
 
   std::cout << "\n=== trylock-first fault path under mmap/munmap churn ===\n";
   srl::Table table({"variant", "threads", "stripes", "mode", "faults/sec",

@@ -7,7 +7,8 @@
 //   disjoint  per-thread slice, traversed nthreads times for constant work (c, d)
 //   random    uniformly random [start, end] (e, f)
 // and two mixes: 100% reads and 60% reads / 40% writes. Locks: lustre-ex, kernel-rw,
-// pnova-rw (one segment per slot, as the paper configures), list-ex, list-rw.
+// pnova-rw (one segment per slot, as the paper configures), list-ex, list-lf
+// (bucketed lock-free list), list-rw.
 //
 // Output: one table per (variant, mix) — the series of the corresponding panel.
 //
@@ -19,6 +20,7 @@
 
 #include "src/baselines/segment_range_lock.h"
 #include "src/baselines/tree_range_lock.h"
+#include "src/core/list_lockfree_range_lock.h"
 #include "src/core/list_range_lock.h"
 #include "src/core/list_rw_range_lock.h"
 #include "src/harness/cli.h"
@@ -103,6 +105,25 @@ struct ListEx {
   }
 };
 
+struct ListLf {
+  static constexpr bool kRw = false;
+  static const char* Name() { return "list-lf"; }
+  // 64-slot windows cut the 256-slot array into 4 windows, which the bucket hash
+  // spreads over 4 distinct heads of 16: disjoint per-thread slices own private heads
+  // up to 4 threads (every acquisition rides the per-bucket fast path), and at 8
+  // threads only pairs share a head. Finer windows would shrink 1-thread acquisitions
+  // (fewer nodes) but make slices share heads sooner; this is the paper's trade-off of
+  // window size against false bucket conflicts.
+  ListLockFreeRangeLock lock{
+      ListLockFreeRangeLock::Options{.buckets = 16, .window_shift = 6}};
+  auto Read(const Range& r) { return lock.Lock(r); }
+  auto Write(const Range& r) { return lock.Lock(r); }
+  template <typename H>
+  void Release(H h) {
+    lock.Unlock(h);
+  }
+};
+
 struct ListRw {
   static constexpr bool kRw = true;
   static const char* Name() { return "list-rw"; }
@@ -115,10 +136,34 @@ struct ListRw {
   }
 };
 
-void NonCriticalWork(Xoshiro256& rng) {
+// noinline on the shared loops: every RunOne<LockT> specialization must execute the
+// SAME copy of the pause and traversal loops. Inlined per-lock copies land at
+// different code alignments, and tight-loop throughput is alignment-dependent (up to
+// 2-3x on some cores) — at ~1k pause iterations plus a 256-slot traversal per op,
+// per-specialization copies would drown the lock cost being measured.
+[[gnu::noinline]] void NonCriticalWork(Xoshiro256& rng) {
   const uint64_t n = rng.NextBelow(kMaxPause);
   for (uint64_t i = 0; i < n; ++i) {
     asm volatile("");
+  }
+}
+
+[[gnu::noinline]] uint64_t ReadSlots(const SlotArray& array, const Range& r,
+                                     int traversals) {
+  uint64_t sink = 0;
+  for (int t = 0; t < traversals; ++t) {
+    for (uint64_t i = r.start; i < r.end; ++i) {
+      sink += array[i].value.value;
+    }
+  }
+  return sink;
+}
+
+[[gnu::noinline]] void WriteSlots(SlotArray& array, const Range& r, int traversals) {
+  for (int t = 0; t < traversals; ++t) {
+    for (uint64_t i = r.start; i < r.end; ++i) {
+      array[i].value.value = array[i].value.value + 1;
+    }
   }
 }
 
@@ -158,19 +203,11 @@ Summary RunOne(Variant variant, double read_fraction, int threads, double secs,
       const bool is_read = rng.NextDouble() < read_fraction;
       if (is_read) {
         auto h = adapter.Read(r);
-        for (int t = 0; t < traversals; ++t) {
-          for (uint64_t i = r.start; i < r.end; ++i) {
-            sink += array[i].value.value;
-          }
-        }
+        sink += ReadSlots(array, r, traversals);
         adapter.Release(h);
       } else {
         auto h = adapter.Write(r);
-        for (int t = 0; t < traversals; ++t) {
-          for (uint64_t i = r.start; i < r.end; ++i) {
-            array[i].value.value = array[i].value.value + 1;
-          }
-        }
+        WriteSlots(array, r, traversals);
         adapter.Release(h);
       }
       ++ops;
@@ -195,6 +232,7 @@ void RunPanel(Variant variant, double read_fraction, const std::vector<int>& thr
     add(KernelRw::Name(), t, RunOne<KernelRw>(variant, read_fraction, t, secs, repeats));
     add(PnovaRw::Name(), t, RunOne<PnovaRw>(variant, read_fraction, t, secs, repeats));
     add(ListEx::Name(), t, RunOne<ListEx>(variant, read_fraction, t, secs, repeats));
+    add(ListLf::Name(), t, RunOne<ListLf>(variant, read_fraction, t, secs, repeats));
     add(ListRw::Name(), t, RunOne<ListRw>(variant, read_fraction, t, secs, repeats));
   }
   table.Print(std::cout, csv);

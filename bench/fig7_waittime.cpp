@@ -25,7 +25,8 @@ void RunApp(metis::MetisApp app, const Cli& cli, BenchJson* json) {
   for (vm::VmVariant variant :
        {vm::VmVariant::kStock, vm::VmVariant::kTreeFull, vm::VmVariant::kTreeRefined,
         vm::VmVariant::kListFull, vm::VmVariant::kListRefined,
-        vm::VmVariant::kTreeScoped, vm::VmVariant::kListScoped}) {
+        vm::VmVariant::kTreeScoped, vm::VmVariant::kListScoped,
+        vm::VmVariant::kListLfFull, vm::VmVariant::kListLfScoped}) {
     for (int t : threads) {
       const MetisRun run = RunMetisOnce(variant, ConfigFromCli(cli, app, t),
                                         /*collect_wait_stats=*/true,

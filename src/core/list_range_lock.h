@@ -99,6 +99,11 @@ class ListRangeLock {
   void Unlock(Handle node) {
     if (options_.enable_fast_path) {
       uintptr_t expected = MarkedWord(node);
+      // Ordering: the relaxed probe is only an optimization — the CAS repeats the
+      // comparison with full strength. Its release success order pairs with the acquire
+      // side of whichever insertion CAS next observes head == 0, ordering this holder's
+      // critical-section writes before the next holder's reads; failure needs no
+      // ordering because a failed probe just falls through to the marked-release path.
       if (head_.load(std::memory_order_relaxed) == expected &&
           head_.compare_exchange_strong(expected, 0, std::memory_order_release,
                                         std::memory_order_relaxed)) {
@@ -188,6 +193,14 @@ class ListRangeLock {
 
     if (options_.enable_fast_path) {
       uintptr_t expected = 0;
+      // Ordering (audited for the lock-free-list PR): acq_rel on success. The acquire
+      // half pairs with the releasing CAS (head -> 0) of the previous fast-path holder,
+      // so its critical section happens-before ours; the release half publishes
+      // node->{start,end,next} (all written above, `next` relaxed) to the slow-path
+      // strip-CAS that may later convert this node into a regular list node — the
+      // relaxed stores are sequenced before this CAS, so any thread that observes
+      // MarkedWord(node) in head with an acquire load sees them. Failure order relaxed:
+      // a failed fast path learns nothing and retries through the list.
       if (head_.load(std::memory_order_relaxed) == 0 &&
           head_.compare_exchange_strong(expected, MarkedWord(node),
                                         std::memory_order_acq_rel,
@@ -278,6 +291,19 @@ class ListRangeLock {
           }
           // rel > 0: insert before cur.
         }
+        // Publication pairing (audited for the lock-free-list PR; no hole found): the
+        // relaxed store of node->next is safe because no other thread can reach `node`
+        // until the CAS below publishes it, and the CAS's release half (seq_cst ⊇
+        // release) orders the store — plus node->{start,end,reader} — before any
+        // acquire load that observes NodeWord(node) in *prev. Conflict detection in
+        // this exclusive lock needs no SeqCstFence pairing, unlike the RW variant's
+        // insert-then-validate: overlapping acquirers compete for the SAME insertion
+        // point, so exclusion is decided by CAS success/failure on one location, not by
+        // two threads each having to observe the other's independent store (the
+        // store-buffering shape that forces seq_cst in list_rw_range_lock.h). seq_cst
+        // on success is kept anyway: it makes every insertion also participate in the
+        // RW lock's fence protocol for free if a node migrates between analyses, and
+        // costs nothing extra on x86/ARM LL-SC versus acq_rel here.
         node->next.store(cur_word, std::memory_order_relaxed);
         if (prev->compare_exchange_strong(cur_word, NodeWord(node),
                                           std::memory_order_seq_cst,

@@ -257,6 +257,16 @@ class ListRwRangeLock {
           // whose patience or deadline is exhausted stops here; a reader only reports
           // kValidationFailed when its deadline expired mid-validation, so the
           // Expired() check below is what terminates it.
+          //
+          // Exactly-once pool return (audited for the lock-free-list PR): this branch
+          // must NOT Recycle — the self-deleted node is still reachable from the list,
+          // and exactly one future traversal wins the unlink CAS over it and Retires
+          // it. A Recycle here would be a double return (the try-exactness fuzz's pool
+          // conservation check catches exactly that); conversely kGaveUp above must
+          // Recycle, because a node that never entered the list has no unlinker and
+          // would otherwise leak. The self-delete itself cannot double-fire either:
+          // RValidate/WValidate mark the node at most once, on their single return
+          // false path, and only the owner ever marks an unmarked node.
           if (max_failures >= 0 && ++failures > max_failures) {
             return false;
           }
@@ -386,6 +396,13 @@ class ListRwRangeLock {
             done = true;  // cycled the epoch CS; restart the scan from our own node
             break;
           case WaitResult::kTimedOut:
+            // Timed-reader self-delete under a lost race with a writer's validate: the
+            // reader is enqueued but unwilling to wait the writer out, so it releases
+            // its own node exactly as an Unlock would. Ownership of the node transfers
+            // to the list here — the caller must not touch it again (no Recycle; see
+            // the kValidationFailed comment in AcquireImpl), and whichever concurrent
+            // traversal — possibly that very writer's WValidate — wins the unlink CAS
+            // Retires it exactly once.
             node->next.fetch_add(kMarkBit, std::memory_order_release);
             rvalidate_aborts_.fetch_add(1, std::memory_order_relaxed);
             return false;

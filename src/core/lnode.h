@@ -27,6 +27,14 @@ struct LNode {
   // traversals that found the node before it was unlinked may still follow that pointer
   // until their epoch critical section ends.
   LNode* pool_next = nullptr;
+
+  // Handle chaining for the bucketed lock-free lock (ListLockFreeRangeLock): an
+  // acquisition covering several buckets owns one node per bucket, linked through this
+  // field in ascending bucket order. Written by the acquiring thread before the handle
+  // is handed out and read only by the releasing owner (handle transfer between threads
+  // synchronizes via the transfer itself), so the field needs no atomicity. Other
+  // threads' traversals read only start/end/next and never follow siblings.
+  LNode* sibling = nullptr;
 };
 
 inline constexpr uintptr_t kMarkBit = 1;

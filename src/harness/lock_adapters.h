@@ -31,6 +31,7 @@
 #include "src/baselines/segment_range_lock.h"
 #include "src/baselines/tree_range_lock.h"
 #include "src/core/fair_list_range_lock.h"
+#include "src/core/list_lockfree_range_lock.h"
 #include "src/core/list_range_lock.h"
 #include "src/core/list_rw_range_lock.h"
 #include "src/core/range.h"
@@ -132,6 +133,36 @@ struct ListRwFastPathAdapter {
   void Release(Handle h) { lock.Unlock(h); }
 
   ListRwRangeLock lock;
+};
+
+// list-lf: the bucketed lock-free exclusive range lock (hash-bucketed heads, mark-bit
+// release with no lock taken). The geometry suits the test universes (ranges of a few
+// dozen units): window_shift=2 so a typical short range covers 1-4 windows, 16 buckets
+// so disjoint test ranges usually land on distinct heads while multi-bucket
+// acquisitions (sibling chains, partial-failure release) still get exercised.
+struct ListLockFreeAdapter {
+  using Handle = ListLockFreeRangeLock::Handle;
+  static constexpr bool kSharedReaders = false;
+  static constexpr bool kPrecise = true;
+  static constexpr bool kUsesNodePool = true;
+  static const char* Name() { return "list-lf"; }
+
+  ListLockFreeAdapter()
+      : lock(ListLockFreeRangeLock::Options{.buckets = 16, .window_shift = 2}) {}
+
+  Handle AcquireRead(const Range& r) { return lock.Lock(r); }
+  Handle AcquireWrite(const Range& r) { return lock.Lock(r); }
+  bool TryAcquireRead(const Range& r, Handle* out) { return lock.TryLock(r, out); }
+  bool TryAcquireWrite(const Range& r, Handle* out) { return lock.TryLock(r, out); }
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockFor(r, t, out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockFor(r, t, out);
+  }
+  void Release(Handle h) { lock.Unlock(h); }
+
+  ListLockFreeRangeLock lock;
 };
 
 // list-ex behind the §4.3 fairness layer.

@@ -36,6 +36,10 @@ VariantConfig ConfigFor(VmVariant v) {
       return {VmLockKind::kTree, true, true, true};
     case VmVariant::kListScoped:
       return {VmLockKind::kList, true, true, true};
+    case VmVariant::kListLfFull:
+      return {VmLockKind::kListLockFree, false, false, false};
+    case VmVariant::kListLfScoped:
+      return {VmLockKind::kListLockFree, true, true, true};
   }
   return {VmLockKind::kStock, false, false, false};
 }
@@ -75,6 +79,10 @@ const char* VmVariantName(VmVariant v) {
       return "tree-scoped";
     case VmVariant::kListScoped:
       return "list-scoped";
+    case VmVariant::kListLfFull:
+      return "list-lf-full";
+    case VmVariant::kListLfScoped:
+      return "list-lf-scoped";
   }
   return "?";
 }

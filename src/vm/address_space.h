@@ -78,6 +78,8 @@ enum class VmVariant {
   kListMprotect,  // list lock, speculative mprotect only (Figure 6 breakdown)
   kTreeScoped,    // tree lock, refined + range-scoped structural ops
   kListScoped,    // list lock, refined + range-scoped structural ops
+  kListLfFull,    // lock-free bucketed list lock, always full range
+  kListLfScoped,  // lock-free bucketed list lock, refined + range-scoped structural ops
 };
 
 const char* VmVariantName(VmVariant v);
@@ -85,9 +87,10 @@ const char* VmVariantName(VmVariant v);
 // Canonical list of every variant, in presentation order (benches resolve --variants
 // flags against this, so the flag parser and the enum can never drift).
 inline constexpr VmVariant kAllVmVariants[] = {
-    VmVariant::kStock,        VmVariant::kTreeFull,   VmVariant::kTreeRefined,
+    VmVariant::kStock,        VmVariant::kTreeFull,    VmVariant::kTreeRefined,
     VmVariant::kListFull,     VmVariant::kListRefined, VmVariant::kListPf,
-    VmVariant::kListMprotect, VmVariant::kTreeScoped, VmVariant::kListScoped,
+    VmVariant::kListMprotect, VmVariant::kTreeScoped,  VmVariant::kListScoped,
+    VmVariant::kListLfFull,   VmVariant::kListLfScoped,
 };
 
 // Reverse of VmVariantName over kAllVmVariants. Returns kStock with *ok = false when

@@ -100,6 +100,50 @@ class ListVmLock final : public VmLock {
   ListRwRangeLock lock_;
 };
 
+// Exclusive backend: reads are served as writes (the lustre-ex pattern the paper
+// benchmarks in read workloads). Safe for AddressSpace because no VM path nests a
+// second acquisition inside one that overlaps it — the speculative Mprotect path
+// drops its read acquisition before taking the write one. Geometry: 64 KiB windows
+// (window_shift=16) keep a page-fault acquisition inside one window, and 64 buckets
+// give striped workloads distinct heads (the Fibonacci bucket hash diffuses the
+// stripes' high base bits).
+class ListLockFreeVmLock final : public VmLock {
+ public:
+  ListLockFreeVmLock()
+      : lock_(ListLockFreeRangeLock::Options{.buckets = 64, .window_shift = 16}) {}
+
+  const char* Name() const override { return "list-lf"; }
+
+ protected:
+  void* DoLockRead(const Range& r) override { return lock_.Lock(r); }
+  void* DoLockWrite(const Range& r) override { return lock_.Lock(r); }
+  bool DoTryLockRead(const Range& r, void** out) override {
+    ListLockFreeRangeLock::Handle h = nullptr;
+    if (!lock_.TryLock(r, &h)) {
+      return false;
+    }
+    *out = h;
+    return true;
+  }
+  bool DoTryLockWrite(const Range& r, void** out) override {
+    ListLockFreeRangeLock::Handle h = nullptr;
+    if (!lock_.TryLock(r, &h)) {
+      return false;
+    }
+    *out = h;
+    return true;
+  }
+  void DoUnlockRead(void* h) override {
+    lock_.Unlock(static_cast<ListLockFreeRangeLock::Handle>(h));
+  }
+  void DoUnlockWrite(void* h) override {
+    lock_.Unlock(static_cast<ListLockFreeRangeLock::Handle>(h));
+  }
+
+ private:
+  ListLockFreeRangeLock lock_;
+};
+
 }  // namespace
 
 std::unique_ptr<VmLock> MakeVmLock(VmLockKind kind) {
@@ -110,6 +154,8 @@ std::unique_ptr<VmLock> MakeVmLock(VmLockKind kind) {
       return std::make_unique<TreeVmLock>();
     case VmLockKind::kList:
       return std::make_unique<ListVmLock>();
+    case VmLockKind::kListLockFree:
+      return std::make_unique<ListLockFreeVmLock>();
   }
   return nullptr;
 }
@@ -122,6 +168,8 @@ const char* VmLockKindName(VmLockKind kind) {
       return "tree";
     case VmLockKind::kList:
       return "list";
+    case VmLockKind::kListLockFree:
+      return "list-lf";
   }
   return "?";
 }

@@ -5,6 +5,8 @@
 //   stock         RwSemaphore; ranges ignored, whole-address-space semantics
 //   tree          kernel tree-based range lock (Bueso's patch, ported)
 //   list          the paper's reader-writer list-based range lock
+//   list-lf       bucketed lock-free exclusive list lock (reads served as writes, the
+//                 lustre-ex pattern; disjoint ranges hit disjoint bucket heads)
 //
 // Instrumentation: attach a WaitStats sink to measure acquisition wait time (read vs
 // write), reproducing the lock_stat measurements of Figure 7. TreeVmLock additionally
@@ -27,6 +29,7 @@
 #include <memory>
 
 #include "src/baselines/tree_range_lock.h"
+#include "src/core/list_lockfree_range_lock.h"
 #include "src/core/list_rw_range_lock.h"
 #include "src/core/range.h"
 #include "src/harness/wait_stats.h"
@@ -35,9 +38,10 @@
 namespace srl::vm {
 
 enum class VmLockKind {
-  kStock,  // reader-writer semaphore (mmap_sem)
-  kTree,   // tree-based range lock
-  kList,   // list-based range lock
+  kStock,         // reader-writer semaphore (mmap_sem)
+  kTree,          // tree-based range lock
+  kList,          // list-based range lock
+  kListLockFree,  // bucketed lock-free exclusive list lock
 };
 
 class VmLock {

@@ -274,5 +274,81 @@ TEST(ListRangeLockTest, CrossThreadRelease) {
   EXPECT_EQ(lock.DebugHeldCount(), 0);
 }
 
+// TSan regression test for the insert-CAS publication ordering (the memory-ordering
+// audit of the lock-free-list PR): plain, non-atomic data is mutated only under
+// overlapping range acquisitions, so every inter-thread edge must flow through the
+// lock's release (mark fetch_add / releasing CAS) into the next acquirer's insertion.
+// If the relaxed node->next store or a too-weak CAS ordering ever leaked past the
+// publication point, TSan would flag a data race on `slots`/`total` here; the final
+// sums double as a plain-build exclusion check.
+TEST(ListRangeLockTest, GuardedPlainDataHasNoRace) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  constexpr uint64_t kSlots = 8;
+  ListRangeLock lock;
+  uint64_t slots[kSlots] = {};  // deliberately non-atomic
+  uint64_t wide_passes = 0;     // mutated under the covering range only
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(0x7a50 + t);
+      for (int i = 0; i < kIters; ++i) {
+        if (rng.NextChance(0.05)) {
+          // Covering acquisition: reads and writes every slot, so it must be ordered
+          // against every narrow holder.
+          auto h = lock.Lock({0, kSlots});
+          uint64_t sum = 0;
+          for (uint64_t s = 0; s < kSlots; ++s) {
+            sum += slots[s];
+          }
+          wide_passes += 1 + (sum >> 63);  // counts passes; keeps the reads live
+          lock.Unlock(h);
+        } else {
+          const uint64_t s = rng.NextBelow(kSlots);
+          auto h = lock.Lock({s, s + 2});  // overlaps the neighbouring slot's range
+          ++slots[s];
+          lock.Unlock(h);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  uint64_t total = 0;
+  for (uint64_t s = 0; s < kSlots; ++s) {
+    total += slots[s];
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(wide_passes, 0u);
+}
+
+// Same shape for the §4.5 fast path, whose ordering is subtler: the fast-path release
+// is a CAS back to empty (not a mark), and a fast-path holder's node can be converted
+// into a regular list node by a concurrent acquirer's strip-CAS — the handoff the
+// acq_rel orderings at the head must cover. Two threads hammer ONE range so the list
+// keeps collapsing to empty and re-entering the fast path, crossing the strip-convert
+// boundary constantly.
+TEST(ListRangeLockFastPathTest, GuardedPlainDataHasNoRaceAcrossStripConvert) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 4000;
+  ListRangeLock lock(ListRangeLock::Options{.enable_fast_path = true});
+  uint64_t counter = 0;  // deliberately non-atomic
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        auto h = lock.Lock({10, 20});
+        ++counter;
+        lock.Unlock(h);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, static_cast<uint64_t>(kThreads) * kIters);
+}
+
 }  // namespace
 }  // namespace srl

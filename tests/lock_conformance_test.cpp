@@ -30,9 +30,10 @@ class LockConformanceTest : public ::testing::Test {
 };
 
 using AllLocks =
-    ::testing::Types<ListExAdapter, ListExFastPathAdapter, ListRwAdapter,
-                     ListRwFastPathAdapter, FairListExAdapter, FairListRwAdapter,
-                     TreeExAdapter, TreeRwAdapter, SegmentRwAdapter, RwSemAdapter>;
+    ::testing::Types<ListExAdapter, ListExFastPathAdapter, ListLockFreeAdapter,
+                     ListRwAdapter, ListRwFastPathAdapter, FairListExAdapter,
+                     FairListRwAdapter, TreeExAdapter, TreeRwAdapter, SegmentRwAdapter,
+                     RwSemAdapter>;
 
 class LockNames {
  public:
@@ -338,8 +339,11 @@ TYPED_TEST(LockConformanceTest, AbortedWaiterLeaksNoListNode) {
   using namespace std::chrono_literals;
   // An always-held disjoint anchor keeps the list non-empty, so the §4.5 fast path
   // (which recycles without ever entering the list) stays out of play and both
-  // measurements see the same list shape.
-  auto anchor = this->adapter_.AcquireWrite({1000, 1001});
+  // measurements see the same list shape. Wide enough (64 units = 16 windows of the
+  // lock-free adapter's 4-unit windows) to cover every bucket of a bucketed lock —
+  // a one-bucket anchor would leave the other buckets' fast paths live and the sweep
+  // residue would vary with which buckets the storm dirtied.
+  auto anchor = this->adapter_.AcquireWrite({1000, 1064});
   // sweep(): a write acquisition covering every range this test uses traverses the
   // list, unlinking all marked nodes into this thread's pool; its own release then
   // leaves exactly one marked node behind. Sweeping before each measurement makes the

@@ -144,6 +144,54 @@ TEST(VmStripeTest, CrossStripeMunmapFallsBackAndUnmapsBothSides) {
   EXPECT_TRUE(as.CheckInvariants());
 }
 
+// Deterministic failing cross-stripe Mprotect (error-path audit of the lock-free-list
+// PR): an mprotect spanning a stripe edge classifies kCrossStripe and takes the
+// full-range path — full write acquisition plus the affected stripes' mutation locks in
+// ascending order — and then fails coverage against a hole. The fallback counter must
+// tick exactly once per call (no double count on the way out), the early return must
+// leave no VMA or protection changed, and the address space must keep functioning
+// (locks released correctly on the error path).
+TEST(VmStripeTest, FailingCrossStripeMprotectCountsOnceAndChangesNothing) {
+  AddressSpace as(VmVariant::kListScoped, 2);
+  const uint32_t prot = kProtRead | kProtWrite;
+  const uint64_t a = as.MmapInStripe(0, kSpan, prot);  // exact fit: ends at the edge
+  ASSERT_NE(a, 0u);
+  const uint64_t b = as.MmapInStripe(0, 8 * kPage, prot);  // overflows to stripe 1
+  ASSERT_EQ(b, a + kSpan);
+  ASSERT_EQ(as.StripeOf(b), 1u);
+  // Punch a hole wholly inside stripe 1 (scoped, no fallback).
+  ASSERT_TRUE(as.Munmap(b + 2 * kPage, 2 * kPage));
+  ASSERT_EQ(as.Stats().cross_stripe_fallback.load(), 0u);
+
+  const auto before_vmas = as.SnapshotVmas();
+  // Spans the edge AND the hole: classifies cross-stripe, then coverage fails (ENOMEM).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const uint64_t before = as.Stats().cross_stripe_fallback.load();
+    EXPECT_FALSE(as.Mprotect(b - 2 * kPage, 6 * kPage, kProtRead));
+    EXPECT_EQ(as.Stats().cross_stripe_fallback.load(), before + 1)
+        << "cross_stripe_fallback must tick exactly once per failing call";
+    EXPECT_EQ(as.SnapshotVmas(), before_vmas)
+        << "failed cross-stripe mprotect mutated the address space";
+  }
+
+  // The error path must have released everything: a covered cross-stripe mprotect over
+  // the same edge still succeeds (and also counts exactly once).
+  const uint64_t before = as.Stats().cross_stripe_fallback.load();
+  ASSERT_TRUE(as.Mprotect(b - 2 * kPage, 4 * kPage, kProtRead));
+  EXPECT_EQ(as.Stats().cross_stripe_fallback.load(), before + 1);
+  const auto vmas = as.SnapshotVmas();
+  ASSERT_EQ(vmas.size(), 4u);
+  EXPECT_EQ(vmas[0], (VmaInfo{a, b - 2 * kPage, prot}));
+  // Same protection on both sides of the edge, but the merge sweep must not absorb
+  // across it — two read-only VMAs abutting at the stripe boundary.
+  EXPECT_EQ(vmas[1], (VmaInfo{b - 2 * kPage, b, kProtRead}));
+  EXPECT_EQ(vmas[2], (VmaInfo{b, b + 2 * kPage, kProtRead}));
+  EXPECT_EQ(vmas[3], (VmaInfo{b + 4 * kPage, b + 8 * kPage, prot}));
+  EXPECT_TRUE(as.PageFault(b - kPage, false));
+  EXPECT_FALSE(as.PageFault(b - kPage, true)) << "read-only after the protect";
+  EXPECT_TRUE(as.CheckInvariants());
+}
+
 // The acceptance claim of the sharding refactor, as a deterministic concurrent test:
 // structural churn confined to stripe 0 must cause zero speculative-fault retries for
 // faults confined to stripe 1 — their seqcounts share nothing. (Under the PR 4 global

@@ -433,7 +433,7 @@ TEST_P(VmStructuralFuzzTest, MprotectDuringFaultTornReadOracle) {
   const VmVariant v = GetParam().variant;
   if (v == VmVariant::kTreeRefined || v == VmVariant::kListRefined ||
       v == VmVariant::kListMprotect || v == VmVariant::kTreeScoped ||
-      v == VmVariant::kListScoped) {
+      v == VmVariant::kListScoped || v == VmVariant::kListLfScoped) {
     // The flips must really have exercised the metadata-only speculative path.
     EXPECT_GT(as.Stats().spec_success.load(), 0u);
   }
@@ -447,6 +447,7 @@ std::vector<FuzzParam> AllFuzzParams() {
   // Multi-stripe spaces for the variants whose machinery is per-stripe.
   params.push_back({VmVariant::kTreeScoped, 4});
   params.push_back({VmVariant::kListScoped, 4});
+  params.push_back({VmVariant::kListLfScoped, 4});
   return params;
 }
 

@@ -21,9 +21,12 @@ exit code (shared CI runners routinely show 2x swings on contended microbenches)
 
 Schema drift is reported, never silently skipped: a metric column present on only one
 side is flagged METRIC-ADDED / METRIC-REMOVED (per table), a row present only in the
-baseline is MISSING, a row present only in the current run is ADDED, and the closing
-summary counts all four — so a bench that grew (or lost) per-stripe keys shows up as
-an explicit schema change rather than a quietly shrinking comparison.
+baseline is MISSING, a row present only in the current run is ADDED, a whole bench
+present only in the current set is NEW-BENCH, and the closing summary counts them all —
+so a bench that grew (or lost) variants or per-stripe keys shows up as an explicit
+schema change rather than a quietly shrinking comparison. New-variant rows (e.g. a lock
+added to a bench's default roster) therefore arrive as ADDED/NEW-BENCH drift, never as
+a failure.
 
 Exit codes: 0 = no firm regressions, 1 = at least one firm regression, 2 = usage or
 input error. Schema drift never affects the exit code. --advisory forces exit 0 while
@@ -203,10 +206,16 @@ def main():
             continue
         compared.append(name)
         compare_bench(name, base, cur_set[name], args, findings)
+    for name in sorted(cur_set):
+        if name not in base_set:
+            findings.append(("NEW-BENCH", name, "",
+                             "bench absent from baseline set (schema drift, "
+                             "not a failure)", 0.0))
 
     firm = [f for f in findings if f[0] == "REGRESSION"]
     noisy = [f for f in findings if f[0] == "NOISY-REGRESSION"]
-    schema_kinds = ("SKIP", "MISSING", "ADDED", "METRIC-ADDED", "METRIC-REMOVED")
+    schema_kinds = ("SKIP", "MISSING", "ADDED", "METRIC-ADDED", "METRIC-REMOVED",
+                    "NEW-BENCH")
 
     print(f"perf_diff: compared {compared or 'nothing'} at threshold "
           f"{args.threshold:.0f}% (noise cap {args.noise_cap:.0f}% rel-stddev)")
@@ -218,7 +227,8 @@ def main():
     print(f"perf_diff: {len(firm)} firm regression(s), {len(noisy)} noisy; schema "
           f"drift: {counts['ADDED']} added row(s), {counts['MISSING']} missing row(s), "
           f"{counts['METRIC-ADDED']} added metric(s), "
-          f"{counts['METRIC-REMOVED']} removed metric(s)")
+          f"{counts['METRIC-REMOVED']} removed metric(s), "
+          f"{counts['NEW-BENCH']} new bench(es)")
 
     if firm and not args.advisory:
         sys.exit(1)
