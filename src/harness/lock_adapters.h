@@ -35,6 +35,7 @@
 #include "src/core/list_range_lock.h"
 #include "src/core/list_rw_range_lock.h"
 #include "src/core/range.h"
+#include "src/core/skiplist_range_lock.h"
 #include "src/sync/rw_semaphore.h"
 
 namespace srl {
@@ -163,6 +164,33 @@ struct ListLockFreeAdapter {
   void Release(Handle h) { lock.Unlock(h); }
 
   ListLockFreeRangeLock lock;
+};
+
+// skiplist-indexed: exclusive lock whose live ranges live in a concurrent skiplist —
+// O(log n) acquire in the held-range count where the list locks are O(n).
+// kUsesNodePool is false because the shared pool-conservation epilogues assert on
+// NodePool<LNode> specifically; this lock's NodePool<SkipLockNode> accounting is
+// covered by skiplist_range_lock_test.cpp.
+struct SkiplistIndexedAdapter {
+  using Handle = SkiplistRangeLock::Handle;
+  static constexpr bool kSharedReaders = false;
+  static constexpr bool kPrecise = true;
+  static constexpr bool kUsesNodePool = false;
+  static const char* Name() { return "skiplist-indexed"; }
+
+  Handle AcquireRead(const Range& r) { return lock.Lock(r); }
+  Handle AcquireWrite(const Range& r) { return lock.Lock(r); }
+  bool TryAcquireRead(const Range& r, Handle* out) { return lock.TryLock(r, out); }
+  bool TryAcquireWrite(const Range& r, Handle* out) { return lock.TryLock(r, out); }
+  bool AcquireReadFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockFor(r, t, out);
+  }
+  bool AcquireWriteFor(const Range& r, std::chrono::nanoseconds t, Handle* out) {
+    return lock.LockFor(r, t, out);
+  }
+  void Release(Handle h) { lock.Unlock(h); }
+
+  SkiplistRangeLock lock;
 };
 
 // list-ex behind the §4.3 fairness layer.

@@ -21,6 +21,7 @@
 #include <cassert>
 #include <cstdint>
 #include <new>
+#include <thread>
 
 #include "src/baselines/tree_range_lock.h"
 #include "src/core/list_range_lock.h"
@@ -53,6 +54,9 @@ template <typename LockPolicy>
 class RangeLockSkipList {
  public:
   static constexpr int kMaxLevel = 20;
+  // Rounds a same-key inserter waits for a winner's fully_linked bit before exiting
+  // its epoch section and retrying from the top (see Insert).
+  static constexpr int kLinkSpinRounds = kMaxLevel;
 
   RangeLockSkipList() : head_(Node::Create(0, kMaxLevel - 1)) {
     for (int l = 0; l < kMaxLevel; ++l) {
@@ -86,12 +90,28 @@ class RangeLockSkipList {
       if (found != -1) {
         Node* existing = succs[found];
         if (!existing->marked.load(std::memory_order_acquire)) {
+          // The winning inserter may be preempted between linking and publishing
+          // fully_linked. Waiting for it inside our critical section would pin this
+          // thread's epoch odd for the whole preemption, stalling reclamation
+          // domain-wide — so the wait is bounded: after kLinkSpinRounds fruitless
+          // rounds, leave the section, yield to the (possibly descheduled) winner,
+          // and redo the search. `false` is returned only after fully_linked has
+          // actually been observed.
           SpinWait spin;
-          while (!existing->fully_linked.load(std::memory_order_acquire)) {
+          bool linked = false;
+          for (int round = 0; round < kLinkSpinRounds; ++round) {
+            if (existing->fully_linked.load(std::memory_order_acquire)) {
+              linked = true;
+              break;
+            }
             spin.Spin();
           }
           EpochDomain::Exit(rec);
-          return false;
+          if (linked) {
+            return false;
+          }
+          std::this_thread::yield();
+          continue;
         }
         EpochDomain::Exit(rec);
         continue;  // victim mid-removal; retry
@@ -120,6 +140,14 @@ class RangeLockSkipList {
       }
       for (int l = 0; l <= top_level; ++l) {
         preds[l]->NextAt(l).store(node, std::memory_order_release);
+      }
+      if (std::atomic<bool>* gate = link_gate_; gate != nullptr) {
+        // Test-only stall point: hold the node in the linked-but-not-fully_linked
+        // window so tests can exercise the bounded wait above deterministically.
+        SpinWait gate_spin;
+        while (!gate->load(std::memory_order_acquire)) {
+          gate_spin.Spin();
+        }
       }
       node->fully_linked.store(true, std::memory_order_release);
       lock_.Unlock(h);
@@ -174,8 +202,15 @@ class RangeLockSkipList {
                                   std::memory_order_release);
       }
       lock_.Unlock(h);
-      RetireList::Local().RetireCustom(victim, &Node::DestroyErased);
       EpochDomain::Exit(rec);
+      // Retire outside the critical section. RetireCustom itself never frees inline,
+      // so the old retire-then-Exit order was not a use-after-free — but keeping the
+      // retire after Exit means the remover's record is provably quiescent by the
+      // time any flush machinery (today's QuiesceLocal, or a future inline flush)
+      // examines it, and matches RetireList's documented contract of retiring while
+      // holding no epoch section. The victim stays safe to name here: it was
+      // unlinked under the range lock above, so only this thread retires it.
+      RetireList::Local().RetireCustom(victim, &Node::DestroyErased);
       return true;
     }
   }
@@ -202,6 +237,11 @@ class RangeLockSkipList {
   static void QuiesceLocal() { RetireList::Local().MaybeFlush(); }
 
   std::size_t DebugCount() const {
+    // The walk reads nodes that concurrent removers retire; without a critical
+    // section a parked batch whose grace snapshot predates this walk can be freed
+    // mid-traversal (use-after-free under churn — caught by the ASan/TSan
+    // DebugCountDuringChurn regression test).
+    EpochGuard guard(EpochDomain::Global());
     std::size_t n = 0;
     for (Node* cur = head_->NextAt(0).load(std::memory_order_acquire); cur != nullptr;
          cur = cur->NextAt(0).load(std::memory_order_acquire)) {
@@ -219,6 +259,11 @@ class RangeLockSkipList {
   }
 
   static const char* Name() { return LockPolicy::Name(); }
+
+  // Test-only: while `*gate` is false, Insert stalls after linking a new node but
+  // before publishing fully_linked, holding concurrent same-key inserters in the
+  // bounded-wait window. Set while quiescent; null disables the stall.
+  void TestOnlySetLinkGate(std::atomic<bool>* gate) { link_gate_ = gate; }
 
  private:
   struct Node {
@@ -282,6 +327,7 @@ class RangeLockSkipList {
 
   Node* head_;
   mutable LockPolicy lock_;
+  std::atomic<bool>* link_gate_ = nullptr;
 };
 
 }  // namespace srl

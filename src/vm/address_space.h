@@ -78,8 +78,10 @@ enum class VmVariant {
   kListMprotect,  // list lock, speculative mprotect only (Figure 6 breakdown)
   kTreeScoped,    // tree lock, refined + range-scoped structural ops
   kListScoped,    // list lock, refined + range-scoped structural ops
-  kListLfFull,    // lock-free bucketed list lock, always full range
-  kListLfScoped,  // lock-free bucketed list lock, refined + range-scoped structural ops
+  kListLfFull,      // lock-free bucketed list lock, always full range
+  kListLfScoped,    // lock-free bucketed list lock, refined + range-scoped structural ops
+  kSkiplistFull,    // skiplist-indexed lock, always full range
+  kSkiplistScoped,  // skiplist-indexed lock, refined + range-scoped structural ops
 };
 
 const char* VmVariantName(VmVariant v);
@@ -90,7 +92,8 @@ inline constexpr VmVariant kAllVmVariants[] = {
     VmVariant::kStock,        VmVariant::kTreeFull,    VmVariant::kTreeRefined,
     VmVariant::kListFull,     VmVariant::kListRefined, VmVariant::kListPf,
     VmVariant::kListMprotect, VmVariant::kTreeScoped,  VmVariant::kListScoped,
-    VmVariant::kListLfFull,   VmVariant::kListLfScoped,
+    VmVariant::kListLfFull,   VmVariant::kListLfScoped, VmVariant::kSkiplistFull,
+    VmVariant::kSkiplistScoped,
 };
 
 // Reverse of VmVariantName over kAllVmVariants. Returns kStock with *ok = false when

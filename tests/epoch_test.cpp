@@ -10,12 +10,14 @@
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/node_pool.h"
 #include "src/epoch/retire_list.h"
+#include "src/skiplist/range_lock_skiplist.h"
 #include "tests/common/test_clock.h"
 
 namespace srl {
 namespace {
 
 using namespace std::chrono_literals;
+using testing::EventuallyTrue;
 using testing::StaysFalse;
 
 TEST(EpochDomainTest, EnterExitTogglesParity) {
@@ -129,6 +131,46 @@ TEST(EpochDomainTest, CurrentThreadRecIsStablePerThread) {
 // across guards (no epoch movement, hence no RMWs, for the next kOpsPerQuantum - 1
 // operations), and the guard completing the quantum closes it — the epoch provably
 // moves every kOpsPerQuantum operations.
+// Regression: RangeLockSkipList::Insert used to spin on a winner's fully_linked bit
+// for as long as the winner stayed preempted — inside its own epoch critical section,
+// pinning its epoch odd and stalling reclamation for the whole domain. The bounded
+// wait must cycle the section (epoch keeps moving) while the winner is stalled.
+TEST(EpochDomainTest, SkiplistLinkWaitDoesNotPinEpoch) {
+  RangeLockSkipList<ListLockPolicy> list;
+  std::atomic<bool> gate{false};
+  list.TestOnlySetLinkGate(&gate);
+
+  // The winner links its node, then stalls at the gate before publishing
+  // fully_linked — still holding the insert range and its epoch section.
+  std::thread winner([&] { EXPECT_TRUE(list.Insert(42)); });
+  ASSERT_TRUE(EventuallyTrue([&] { return list.DebugCount() == 1; }))
+      << "winner never linked its node";
+
+  std::atomic<EpochDomain::ThreadRec*> loser_rec{nullptr};
+  std::thread loser([&] {
+    loser_rec.store(CurrentThreadRec(EpochDomain::Global()), std::memory_order_release);
+    EXPECT_FALSE(list.Insert(42)) << "duplicate insert must fail once the winner links";
+  });
+  EpochDomain::ThreadRec* rec = nullptr;
+  while ((rec = loser_rec.load(std::memory_order_acquire)) == nullptr) {
+    std::this_thread::yield();
+  }
+  // Let the loser settle into its wait, then demand its epoch keep advancing. An
+  // unbounded in-section spin parks the epoch at one odd value for the duration of
+  // the winner's stall.
+  std::this_thread::sleep_for(20ms);
+  const uint64_t e0 = rec->epoch.load(std::memory_order_acquire);
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return rec->epoch.load(std::memory_order_acquire) != e0; }))
+      << "same-key inserter pinned its epoch while waiting on fully_linked";
+
+  gate.store(true, std::memory_order_release);
+  winner.join();
+  loser.join();
+  list.TestOnlySetLinkGate(nullptr);
+  EXPECT_TRUE(list.Contains(42));
+}
+
 TEST(EpochQuantumTest, QuantumSpansOpsAndRefreshesOnSchedule) {
   EpochDomain domain;
   std::thread worker([&] {

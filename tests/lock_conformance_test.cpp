@@ -31,9 +31,9 @@ class LockConformanceTest : public ::testing::Test {
 
 using AllLocks =
     ::testing::Types<ListExAdapter, ListExFastPathAdapter, ListLockFreeAdapter,
-                     ListRwAdapter, ListRwFastPathAdapter, FairListExAdapter,
-                     FairListRwAdapter, TreeExAdapter, TreeRwAdapter, SegmentRwAdapter,
-                     RwSemAdapter>;
+                     SkiplistIndexedAdapter, ListRwAdapter, ListRwFastPathAdapter,
+                     FairListExAdapter, FairListRwAdapter, TreeExAdapter, TreeRwAdapter,
+                     SegmentRwAdapter, RwSemAdapter>;
 
 class LockNames {
  public:

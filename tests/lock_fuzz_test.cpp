@@ -40,9 +40,9 @@ class LockFuzzTest : public ::testing::Test {};
 
 using AllLocks =
     ::testing::Types<ListExAdapter, ListExFastPathAdapter, ListLockFreeAdapter,
-                     ListRwAdapter, ListRwFastPathAdapter, FairListExAdapter,
-                     FairListRwAdapter, TreeExAdapter, TreeRwAdapter, SegmentRwAdapter,
-                     RwSemAdapter>;
+                     SkiplistIndexedAdapter, ListRwAdapter, ListRwFastPathAdapter,
+                     FairListExAdapter, FairListRwAdapter, TreeExAdapter, TreeRwAdapter,
+                     SegmentRwAdapter, RwSemAdapter>;
 
 class LockNames {
  public:

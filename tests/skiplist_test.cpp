@@ -1,7 +1,9 @@
 // Tests for both skip lists: the Herlihy optimistic baseline and the range-lock-based
 // design of §6 (over the list lock and the tree lock). Typed suite: all variants must
 // satisfy the same set semantics.
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 #include <vector>
@@ -194,6 +196,74 @@ TYPED_TEST(SkipListTest, MixedWorkloadStress) {
     th.join();
   }
   EXPECT_EQ(static_cast<int64_t>(this->list_.DebugCount()), net.load());
+}
+
+// Regression: DebugCount used to walk level 0 with no epoch critical section, so a
+// remover's parked retire batch — whose grace snapshot never records the walker —
+// could be freed mid-traversal. With the guard reverted this is a use-after-free the
+// sanitizer jobs catch; with it, the walker's section joins every snapshot taken
+// during the walk and the nodes outlive it.
+TEST(SkipListEpochTest, DebugCountDuringChurnIsEpochSafe) {
+  using List = RangeLockSkipList<ListLockPolicy>;
+  List list;
+  constexpr int kChurners = 3;
+  constexpr uint64_t kKeysPerChurner = 512;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < kChurners; ++t) {
+    churners.emplace_back([&, t] {
+      const uint64_t base = 1 + static_cast<uint64_t>(t) * 4096;
+      Xoshiro256 rng(0x7777 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const uint64_t key = base + rng.NextBelow(kKeysPerChurner);
+        if (rng.NextChance(0.5)) {
+          list.Insert(key);
+        } else {
+          list.Remove(key);
+        }
+        // Flush at every quiescent point so retired nodes really are freed while
+        // the main thread is mid-walk, not hoarded until join.
+        List::QuiesceLocal();
+      }
+      List::QuiesceLocal();
+    });
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+  while (std::chrono::steady_clock::now() < deadline) {
+    EXPECT_LE(list.DebugCount(), kChurners * kKeysPerChurner);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : churners) {
+    th.join();
+  }
+}
+
+// Pins the Remove retire protocol: the victim is handed to RetireList only after the
+// remover has left its epoch critical section, so a quiescent-point flush immediately
+// after Remove returns can reclaim through the no-ticket fast path and the per-thread
+// backlog stays bounded by one flush threshold.
+TEST(SkipListEpochTest, RemoveRetiresOutsideCriticalSectionAndReclaims) {
+  // Dedicated thread: RetireList::Local() is thread-local, so the counts below see
+  // only this churn.
+  std::thread worker([] {
+    using List = RangeLockSkipList<ListLockPolicy>;
+    List list;
+    const EpochDomain::ThreadRec* rec = CurrentThreadRec(EpochDomain::Global());
+    constexpr std::size_t kOps = 3 * RetireList::kFlushThreshold;
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i <= kOps; ++i) {
+      ASSERT_TRUE(list.Insert(i));
+      ASSERT_TRUE(list.Remove(i));
+      ASSERT_EQ(rec->epoch.load(std::memory_order_acquire) & 1, 0u)
+          << "Remove returned inside an epoch critical section";
+      List::QuiesceLocal();
+      peak = std::max(peak, RetireList::Local().PendingCount());
+    }
+    EXPECT_LE(peak, RetireList::kFlushThreshold)
+        << "threshold flushes stopped reclaiming: retire backlog grew unbounded";
+    EXPECT_LT(RetireList::Local().PendingCount(), RetireList::kFlushThreshold);
+  });
+  worker.join();
 }
 
 TEST(SkipListFootprintTest, RangeLockNodesAreNoLarger) {

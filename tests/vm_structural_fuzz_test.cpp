@@ -433,7 +433,8 @@ TEST_P(VmStructuralFuzzTest, MprotectDuringFaultTornReadOracle) {
   const VmVariant v = GetParam().variant;
   if (v == VmVariant::kTreeRefined || v == VmVariant::kListRefined ||
       v == VmVariant::kListMprotect || v == VmVariant::kTreeScoped ||
-      v == VmVariant::kListScoped || v == VmVariant::kListLfScoped) {
+      v == VmVariant::kListScoped || v == VmVariant::kListLfScoped ||
+      v == VmVariant::kSkiplistScoped) {
     // The flips must really have exercised the metadata-only speculative path.
     EXPECT_GT(as.Stats().spec_success.load(), 0u);
   }
@@ -448,6 +449,7 @@ std::vector<FuzzParam> AllFuzzParams() {
   params.push_back({VmVariant::kTreeScoped, 4});
   params.push_back({VmVariant::kListScoped, 4});
   params.push_back({VmVariant::kListLfScoped, 4});
+  params.push_back({VmVariant::kSkiplistScoped, 4});
   return params;
 }
 

@@ -193,7 +193,8 @@ TEST_P(VmSemanticsTest, ArenaPatternSpeculates) {
   const auto& st = as_.Stats();
   if (GetParam() == VmVariant::kListRefined || GetParam() == VmVariant::kTreeRefined ||
       GetParam() == VmVariant::kListMprotect || GetParam() == VmVariant::kTreeScoped ||
-      GetParam() == VmVariant::kListScoped || GetParam() == VmVariant::kListLfScoped) {
+      GetParam() == VmVariant::kListScoped || GetParam() == VmVariant::kListLfScoped ||
+      GetParam() == VmVariant::kSkiplistScoped) {
     // 28 of 29 mprotects are boundary moves; only the first split is structural.
     EXPECT_EQ(st.spec_success.load(), 28u);
     EXPECT_EQ(st.spec_fallback.load(), 1u);
