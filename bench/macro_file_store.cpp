@@ -21,16 +21,29 @@
 // mismatch under a held range means the lock failed exclusion and the bench exits
 // non-zero. Locks: skiplist-indexed, list-ex, list-lf (VM geometry), lustre-ex.
 //
+// Cold-region drops (--cold-drop): the store can additionally run against a simulated
+// AddressSpace mirror of the file — every record access page-faults its page, and a
+// background janitor thread periodically drops the store's resident pages
+// (MADV_DONTNEED over rotating sixteenths of the file), the way a cache server trims
+// cold regions under memory pressure. `inline` drops pages synchronously inside the
+// janitor's read acquisition (the pre-deferral shape); `deferred` enqueues them on
+// the sweep queues and lets the flush threshold batch the page-table work outside any
+// range lock. Teardown exits through MunmapAsync + DrainSweeps. Rows land in a second
+// table (same metrics, extra cold-drop/drops-sec columns) so the default table's
+// schema — and its perf_diff history — is untouched.
+//
 // Flags: --locks=skiplist-indexed,list-ex,list-lf,lustre-ex --threads=1,2,4,8
-//        --records=1048576 --zipf=0.99 --secs=0.25 --repeats=1 --csv
-//        --json=BENCH_file_store.json
+//        --records=1048576 --zipf=0.99 --secs=0.25 --repeats=1
+//        --cold-drop=off|inline|deferred --csv --json=BENCH_file_store.json
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +56,7 @@
 #include "src/harness/prng.h"
 #include "src/harness/table.h"
 #include "src/harness/throughput_runner.h"
+#include "src/vm/address_space.h"
 
 namespace srl {
 namespace {
@@ -190,12 +204,82 @@ uint64_t ScatterRank(uint64_t rank, uint64_t records) {
   return (rank * 0x9E3779B97F4A7C15ull) & (records - 1);
 }
 
+enum class ColdDrop { kOff, kInline, kDeferred };
+
+const char* ColdDropName(ColdDrop c) {
+  return c == ColdDrop::kInline ? "inline" : "deferred";
+}
+
+// Simulated AddressSpace mirror of the file (see the header): client record accesses
+// page-fault their page; a janitor thread trims rotating sixteenths of the file with
+// MADV_DONTNEED the way a cache server drops cold regions under memory pressure.
+class VmMirror {
+ public:
+  VmMirror(uint64_t size_bytes, ColdDrop mode)
+      : as_(vm::VmVariant::kListScoped, 4), size_(size_bytes) {
+    as_.SetDeferredSweeps(mode == ColdDrop::kDeferred);
+    base_ = as_.Mmap(size_, vm::kProtRead | vm::kProtWrite);
+    janitor_ = std::thread([this] {
+      const uint64_t sixteenth = size_ / 16;
+      unsigned slot = 0;
+      while (!stop_.load(std::memory_order_acquire)) {
+        as_.MadviseDontNeed(base_ + slot * sixteenth, sixteenth);
+        drops_.fetch_add(1, std::memory_order_relaxed);
+        slot = (slot + 1) % 16;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  ~VmMirror() { Teardown(); }
+
+  // Stops the janitor and exits through the async path: the unlink is synchronous,
+  // the page sweep rides the drain. Idempotent — RunOne calls it before reading the
+  // sweep counters so the teardown flush is included.
+  void Teardown() {
+    if (torn_down_) {
+      return;
+    }
+    torn_down_ = true;
+    stop_.store(true, std::memory_order_release);
+    janitor_.join();
+    as_.MunmapAsync(base_, size_);
+    as_.DrainSweeps();
+  }
+
+  void Touch(uint64_t offset) { as_.PageFault(base_ + offset, false); }
+
+  uint64_t Drops() const { return drops_.load(std::memory_order_relaxed); }
+  uint64_t SweptPages() const { return as_.Stats().sweeps_swept_pages.load(); }
+
+ private:
+  vm::AddressSpace as_;
+  uint64_t size_;
+  uint64_t base_ = 0;
+  std::thread janitor_;
+  bool torn_down_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> drops_{0};
+};
+
+struct ColdStats {
+  double drops_per_sec = 0.0;
+  uint64_t swept_pages = 0;
+};
+
 template <typename LockT>
 Summary RunOne(uint64_t records, int threads, double secs, int repeats,
-               const ZipfSampler& zipf, std::atomic<uint64_t>* torn) {
+               const ZipfSampler& zipf, std::atomic<uint64_t>* torn,
+               ColdDrop cold = ColdDrop::kOff, ColdStats* cold_stats = nullptr) {
   LockT adapter;
   FileStore store(records);
-  return MeasureThroughputRepeated(
+  std::unique_ptr<VmMirror> mirror;
+  const auto mirror_start = std::chrono::steady_clock::now();
+  if (cold != ColdDrop::kOff) {
+    mirror = std::make_unique<VmMirror>(store.SizeBytes(), cold);
+  }
+  VmMirror* mp = mirror.get();
+  const Summary s = MeasureThroughputRepeated(
       threads, secs, repeats, [&](int tid, std::atomic<bool>& stop) {
         Xoshiro256 rng(0xf11e5704e + static_cast<uint64_t>(tid) * 0x9e37);
         uint64_t ops = 0;
@@ -205,6 +289,9 @@ Summary RunOne(uint64_t records, int threads, double secs, int repeats,
             // Full-file scan: one Range::Full acquisition excludes every writer.
             auto h = adapter.Acquire(Range::Full());
             for (uint64_t i = 0; i < records; i += kFullScanStride) {
+              if (mp != nullptr) {
+                mp->Touch(i * kRecordSize);
+              }
               if (!store.ValidateAt(i * kRecordSize)) {
                 torn->fetch_add(1, std::memory_order_relaxed);
               }
@@ -214,6 +301,9 @@ Summary RunOne(uint64_t records, int threads, double secs, int repeats,
             const double roll = rng.NextDouble();
             const uint64_t idx = ScatterRank(zipf.Sample(rng), records);
             const uint64_t offset = idx * kRecordSize;
+            if (mp != nullptr) {
+              mp->Touch(offset);
+            }
             if (roll < 0.6) {
               auto h = adapter.Acquire({offset, offset + kRecordSize});
               if (!store.ValidateAt(offset)) {
@@ -260,6 +350,9 @@ Summary RunOne(uint64_t records, int threads, double secs, int repeats,
                 std::this_thread::yield();
               }
               for (auto* o = std::begin(offs); o != end; ++o) {
+                if (mp != nullptr) {
+                  mp->Touch(*o);
+                }
                 if (!store.ValidateAt(*o)) {
                   torn->fetch_add(1, std::memory_order_relaxed);
                 }
@@ -276,6 +369,9 @@ Summary RunOne(uint64_t records, int threads, double secs, int repeats,
               const uint64_t hi = lo + kScanRecords * kRecordSize;
               auto h = adapter.Acquire({lo, hi});
               for (uint64_t o = lo; o < hi; o += kRecordSize) {
+                if (mp != nullptr) {
+                  mp->Touch(o);
+                }
                 if (!store.ValidateAt(o)) {
                   torn->fetch_add(1, std::memory_order_relaxed);
                 }
@@ -287,6 +383,16 @@ Summary RunOne(uint64_t records, int threads, double secs, int repeats,
         }
         return ops;
       });
+  if (mp != nullptr && cold_stats != nullptr) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - mirror_start)
+            .count();
+    mp->Teardown();  // include the teardown drain in the sweep counters
+    cold_stats->drops_per_sec =
+        elapsed > 0 ? static_cast<double>(mp->Drops()) / elapsed : 0.0;
+    cold_stats->swept_pages = mp->SweptPages();
+  }
+  return s;
 }
 
 template <typename LockT>
@@ -300,6 +406,22 @@ void RunLock(const std::vector<int>& threads, uint64_t records, double secs,
   }
 }
 
+// Cold-drop rows go to their own table so the default table's schema (and its
+// perf_diff history) is untouched.
+template <typename LockT>
+void RunLockCold(const std::vector<int>& threads, uint64_t records, double secs,
+                 int repeats, const ZipfSampler& zipf, ColdDrop cold, Table* table,
+                 std::atomic<uint64_t>* torn) {
+  for (int t : threads) {
+    ColdStats cs;
+    const Summary s = RunOne<LockT>(records, t, secs, repeats, zipf, torn, cold, &cs);
+    table->AddRow({LockT::Name(), std::to_string(t), ColdDropName(cold),
+                   Table::Num(s.mean, 0), Table::Num(s.RelStddevPct(), 1),
+                   Table::Num(cs.drops_per_sec, 0),
+                   std::to_string(cs.swept_pages)});
+  }
+}
+
 }  // namespace
 }  // namespace srl
 
@@ -308,7 +430,8 @@ int main(int argc, char** argv) {
   if (cli.Has("--help")) {
     std::cout << "macro_file_store --locks=skiplist-indexed,list-ex,list-lf,lustre-ex "
                  "--threads=1,2,4,8 --records=1048576 --zipf=0.99 --secs=0.25 "
-                 "--repeats=1 --csv --json=BENCH_file_store.json\n";
+                 "--repeats=1 --cold-drop=off|inline|deferred --csv "
+                 "--json=BENCH_file_store.json\n";
     return 0;
   }
   const std::string locks =
@@ -320,6 +443,16 @@ int main(int argc, char** argv) {
   const double secs = cli.GetDouble("--secs", 0.25);
   const int repeats = static_cast<int>(cli.GetInt("--repeats", 1));
   const bool csv = cli.GetBool("--csv");
+  const std::string cold_arg = cli.GetString("--cold-drop", "off");
+  srl::ColdDrop cold = srl::ColdDrop::kOff;
+  if (cold_arg == "inline") {
+    cold = srl::ColdDrop::kInline;
+  } else if (cold_arg == "deferred") {
+    cold = srl::ColdDrop::kDeferred;
+  } else if (cold_arg != "off") {
+    std::cerr << "unknown --cold-drop mode: " << cold_arg << "\n";
+    return 1;
+  }
 
   const srl::ZipfSampler zipf(records, zipf_theta);
   std::atomic<uint64_t> torn{0};
@@ -346,6 +479,31 @@ int main(int argc, char** argv) {
     srl::RunLock<srl::LustreEx>(threads, records, secs, repeats, zipf, &table, &torn);
   }
   table.Print(std::cout, csv);
+
+  srl::Table cold_table({"lock", "threads", "cold-drop", "ops/sec", "rel-stddev%",
+                         "drops/sec", "swept-pages"});
+  if (cold != srl::ColdDrop::kOff) {
+    std::cout << "\n=== file store + VM mirror — janitor drops cold sixteenths ("
+              << cold_arg << " sweeps), record accesses page-fault ===\n";
+    if (want(srl::SkiplistIndexed::Name())) {
+      srl::RunLockCold<srl::SkiplistIndexed>(threads, records, secs, repeats, zipf,
+                                             cold, &cold_table, &torn);
+    }
+    if (want(srl::ListEx::Name())) {
+      srl::RunLockCold<srl::ListEx>(threads, records, secs, repeats, zipf, cold,
+                                    &cold_table, &torn);
+    }
+    if (want(srl::ListLf::Name())) {
+      srl::RunLockCold<srl::ListLf>(threads, records, secs, repeats, zipf, cold,
+                                    &cold_table, &torn);
+    }
+    if (want(srl::LustreEx::Name())) {
+      srl::RunLockCold<srl::LustreEx>(threads, records, secs, repeats, zipf, cold,
+                                      &cold_table, &torn);
+    }
+    cold_table.Print(std::cout, csv);
+  }
+
   if (torn.load() != 0) {
     std::cerr << "TORN READS: " << torn.load() << " — range exclusion broken\n";
     return 1;
@@ -356,5 +514,12 @@ int main(int argc, char** argv) {
                  {"zipf", std::to_string(zipf_theta)},
                  {"mix", "60r/20w/10txn/10scan+fullscan"}},
                 table);
+  if (cold != srl::ColdDrop::kOff) {
+    json.AddTable({{"records", std::to_string(records)},
+                   {"zipf", std::to_string(zipf_theta)},
+                   {"cold_drop", cold_arg},
+                   {"mix", "60r/20w/10txn/10scan+fullscan+janitor"}},
+                  cold_table);
+  }
   return json.Write(cli.JsonPath()) ? 0 : 1;
 }

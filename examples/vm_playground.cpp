@@ -83,7 +83,7 @@ int main() {
   std::cout << "VM operation counts:\n"
             << "  mmaps:           " << st.mmaps.load() << "\n"
             << "  mprotects:       " << st.mprotects.load() << "\n"
-            << "  page faults:     " << st.faults.load() << " (" << st.major_faults.load()
+            << "  page faults:     " << st.Faults() << " (" << st.MajorFaults()
             << " major)\n"
             << "  speculative ok:  " << st.spec_success.load() << "\n"
             << "  spec fallbacks:  " << st.spec_fallback.load() << "\n"

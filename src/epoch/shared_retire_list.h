@@ -35,10 +35,22 @@ namespace srl {
 
 class SharedRetireList {
  public:
+  // Default pending-count threshold before MaybeFlush parks a batch. Runtime-tunable
+  // per list (SetFlushThreshold): the constant was picked on one core, and the right
+  // value shifts with thread count — a high-churn stripe on a big box wants smaller
+  // batches so grace snapshots stay short. bench/abl_async_unmap sweeps it together
+  // with the sweep-queue threshold.
   static constexpr std::size_t kFlushThreshold = 256;
   // Bookkeeping bound, not a memory bound — beyond it new batches coalesce into the
   // newest parked batch (ticket union) instead of blocking, exactly as RetireList.
   static constexpr std::size_t kMaxParkedBatches = 64;
+
+  void SetFlushThreshold(std::size_t n) {
+    flush_threshold_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+  std::size_t FlushThreshold() const {
+    return flush_threshold_.load(std::memory_order_relaxed);
+  }
 
   SharedRetireList() = default;
   ~SharedRetireList() { Flush(); }
@@ -66,7 +78,8 @@ class SharedRetireList {
   // epoch-per-quantum section on the calling thread is fine — between guards the
   // caller holds no references, and the grace snapshot skips its record).
   void MaybeFlush() {
-    if (pending_count_.load(std::memory_order_relaxed) < kFlushThreshold) {
+    if (pending_count_.load(std::memory_order_relaxed) <
+        flush_threshold_.load(std::memory_order_relaxed)) {
       return;
     }
     EpochDomain::ThreadRec* rec = CurrentThreadRec(EpochDomain::Global());
@@ -166,6 +179,7 @@ class SharedRetireList {
   }
 
   mutable SpinLock lock_;
+  std::atomic<std::size_t> flush_threshold_{kFlushThreshold};
   std::atomic<std::size_t> pending_count_{0};
   std::vector<Pending> pending_;
   std::vector<Batch> parked_;

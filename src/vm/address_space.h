@@ -58,6 +58,9 @@
 #include <string>
 #include <vector>
 
+#include "src/epoch/epoch_domain.h"
+#include "src/epoch/sweep_queue.h"
+#include "src/sync/spin_lock.h"
 #include "src/vm/page_table.h"
 #include "src/vm/vm_lock.h"
 #include "src/vm/vm_stats.h"
@@ -139,7 +142,20 @@ class AddressSpace {
 
   // Unmaps [addr, addr+length). Splits partially covered VMAs, exactly like the kernel.
   // Returns false if the range touches no mapping.
+  //
+  // The VMA unlink and the stripe-seqcount bump are always synchronous (they are the
+  // fence the speculative-fault ordering argument needs); the page-table sweep is, by
+  // default, deferred to the per-stripe SweepQueue and flushed at operation boundaries
+  // once the queue crosses its threshold — the kernel's TLB-batching shape. With
+  // SetDeferredSweeps(false) the sweep runs inline under the write lock (the pre-
+  // deferral behaviour; bench/abl_async_unmap compares the two).
   bool Munmap(uint64_t addr, uint64_t length);
+
+  // As Munmap, but never flushes: the dead range is enqueued and the call returns with
+  // the sweep wholly outstanding, to be paid by a later threshold flush or a
+  // DrainSweeps. Defers even when SetDeferredSweeps(false) — this entry point IS the
+  // async request. Use when unmap latency matters more than page-table tightness.
+  bool MunmapAsync(uint64_t addr, uint64_t length);
 
   // Changes protection of [addr, addr+length). Returns false if the range is not fully
   // covered by existing mappings (ENOMEM in the kernel).
@@ -160,8 +176,37 @@ class AddressSpace {
 
   // MADV_DONTNEED semantics: drops the pages of [addr, addr+length) so the next touch
   // faults again. Used by the arena allocator's trim path (glibc frees trimmed pages).
-  // Runs under a read acquisition like the kernel's madvise.
+  // Runs under a read acquisition like the kernel's madvise. Under deferred sweeps the
+  // drop is enqueued, not immediate: pages installed before the call are guaranteed
+  // gone only after the covering sweep flushes (DrainSweeps gives the hard edge), and
+  // a fault racing the call may legitimately re-install a page afterwards — the same
+  // contract Linux gives a fault racing madvise(MADV_DONTNEED).
   bool MadviseDontNeed(uint64_t addr, uint64_t length);
+
+  // --- Deferred-sweep control -----------------------------------------------------
+
+  // Default on: Munmap/MadviseDontNeed enqueue their page sweeps (see Munmap). Off
+  // restores the inline sweep under the range acquisition.
+  void SetDeferredSweeps(bool on) { deferred_sweeps_ = on; }
+  bool DeferredSweeps() const { return deferred_sweeps_; }
+
+  // Pages a stripe's queue accumulates before an operation boundary flushes it.
+  void SetSweepFlushThreshold(uint64_t pages);
+  // Batch size of the per-stripe VMA retire lists (SharedRetireList); forwarded to
+  // every stripe. Exposed alongside the sweep threshold because both were originally
+  // fixed constants guessed on one core.
+  void SetRetireFlushThreshold(std::size_t n);
+
+  // Drain barrier: flushes every stripe's queue, waits out every in-flight fault (an
+  // epoch barrier — a losing fault that handed its undo to a pending sweep, or a stale
+  // walker resurrecting a just-swept page, completes or undoes inside it), then
+  // flushes again. Afterwards no page survives in any unmapped or DONTNEED'd range —
+  // the deferred-sweep restatement of the fault-vs-unmap batteries' invariant. Call
+  // holding no locks or ranges.
+  void DrainSweeps();
+
+  // Pages enqueued and not yet swept, summed over stripes (racy; tests/benches).
+  uint64_t PendingSweepPages() const;
 
   // Extension of the paper's §5.2 closing remark (left as future work there): munmap
   // "starts from calling find_vma, during which the range lock can be held in the read
@@ -189,12 +234,23 @@ class AddressSpace {
 
   std::vector<VmaInfo> SnapshotVmas();
   // VMAs sorted, non-overlapping, page-aligned, trees structurally valid, no VMA
-  // straddling a stripe-window edge, and no page present outside a mapped VMA.
-  bool CheckInvariants();
+  // straddling a stripe-window edge, and no page present outside a mapped VMA (modulo
+  // pages a still-pending sweep covers). Runs DrainSweeps first so the page-table view
+  // is consistent. With `strict_present_counts` (the default — sequential callers),
+  // additionally asserts every VMA's present_hint is a sound upper bound on its
+  // CountRange and resyncs the hint to the exact count; callers racing live faulters
+  // (the concurrent fuzz checker) must pass false, because in-flight installs make the
+  // hint transiently unordered against any count snapshot.
+  bool CheckInvariants(bool strict_present_counts = true);
   std::size_t PresentPages() const { return pages_.Count(); }
   // Present pages within [addr, addr+length) — lock-free racy count (the fault-vs-unmap
-  // batteries assert this drains to zero for unmapped, never-reused ranges).
+  // batteries assert this drains to zero, post-DrainSweeps, for unmapped, never-reused
+  // ranges). An empty range counts zero pages even when addr is mid-page (the
+  // PageDown/PageUp mix used to widen length == 0 to a full page).
   std::size_t PresentPagesInRange(uint64_t addr, uint64_t length) const {
+    if (length == 0) {
+      return 0;
+    }
     return pages_.CountRange(PageDown(addr) / kPageSize, PageUp(addr + length) / kPageSize);
   }
 
@@ -209,6 +265,34 @@ class AddressSpace {
   void TestOnlySetSpecFaultOrdering(bool validate_before_install, uint32_t window_yields) {
     test_validate_before_install_ = validate_before_install;
     test_spec_window_yields_ = window_yields;
+  }
+
+  // With deferred sweeps, the losing-fault undo must consult the sweep queue and use
+  // its install ticket (see PageFaultOptimistic): a pending sweep covering the page
+  // makes the undo the flusher's job, and an already-claimed sweep may have erased and
+  // let a winning fault re-install the page — which a blind Remove would destroy,
+  // driving the winner's VMA present_hint below the true count. `false` reverts to the
+  // pre-deferral blind undo (Remove + unconditional hint decrement) so the extended
+  // fault-vs-unmap oracle can demonstrate it catches the missing check. Tests only.
+  void TestOnlySetUndoSweepCheck(bool on) { test_undo_sweep_check_ = on; }
+
+  // Deterministic interleaving gate for the install→validate window: the NEXT
+  // speculative fault to install a page consumes the (one-shot) token, flags itself
+  // parked, and spins until TestOnlyReleaseParkedFault() — so a test can run an exact
+  // sequence of structural operations inside the window instead of hoping a yield
+  // count outlasts them. The park self-releases after ~5s as a hang backstop. Waiting
+  // on TestOnlySpecFaultParked() (not on page presence) before proceeding guarantees
+  // the token is consumed and cannot strand a later fault. Tests only.
+  void TestOnlyParkNextSpecFault() {
+    test_spec_park_release_.store(false, std::memory_order_release);
+    test_spec_parked_.store(false, std::memory_order_release);
+    test_spec_park_pending_.store(1, std::memory_order_release);
+  }
+  bool TestOnlySpecFaultParked() const {
+    return test_spec_parked_.load(std::memory_order_acquire);
+  }
+  void TestOnlyReleaseParkedFault() {
+    test_spec_park_release_.store(true, std::memory_order_release);
   }
 
  private:
@@ -266,7 +350,31 @@ class AddressSpace {
 
   // Munmap mutation loop; caller holds a write acquisition covering [s-pg, e+pg) (or
   // the full range) and the mutation locks of stripes [lo, hi], which cover the range.
-  bool ApplyMunmapLocked(uint64_t s, uint64_t e, unsigned lo, unsigned hi);
+  // Sets *expected_present to the saturating sum of the clipped/erased VMAs'
+  // present_hints — a proven upper bound on pages still installed in [s, e). Zero
+  // means the unmap skips the page sweep entirely; a finite value bounds the deferred
+  // flusher's probe (SweepQueue::Range::expected).
+  bool ApplyMunmapLocked(uint64_t s, uint64_t e, unsigned lo, unsigned hi,
+                         uint64_t* expected_present);
+
+  // Shared Munmap/MunmapAsync body; `flush_policy` selects inline sweep, deferred
+  // sweep with threshold flush, or pure enqueue (async).
+  enum class SweepPolicy { kInline, kDeferred, kAsync };
+  bool MunmapImpl(uint64_t addr, uint64_t length, SweepPolicy policy);
+
+  // Splits the page-aligned byte range [s, e) at stripe-window edges and enqueues each
+  // piece on its stripe's sweep queue (counting stats); every piece carries the full
+  // `expected` present-page bound (an upper bound for each). Caller may hold range
+  // locks — enqueueing never sweeps.
+  void EnqueueSweepRange(uint64_t s, uint64_t e,
+                         uint64_t expected = SweepQueue::kUnbounded);
+
+  // Claims and sweeps stripe `si`'s queue. Call holding no locks or ranges.
+  void FlushSweeps(unsigned si);
+  // Threshold-gated FlushSweeps — one relaxed load when below threshold. The
+  // "epoch-tick" of the design: called at operation boundaries, where the caller
+  // holds no locks and (for fault paths) sits between epoch quantums.
+  void MaybeFlushSweeps(unsigned si);
 
   // Full-path mprotect body; same caller contract as ApplyMunmapLocked. Returns false
   // on uncovered ranges.
@@ -293,8 +401,13 @@ class AddressSpace {
   bool refine_mprotect_;
   bool scoped_structural_;
   bool speculate_unmap_lookup_ = false;
+  bool deferred_sweeps_ = true;
   bool test_validate_before_install_ = false;  // test-only; see the hook above
+  bool test_undo_sweep_check_ = true;          // test-only; see the hook above
   uint32_t test_spec_window_yields_ = 0;
+  std::atomic<uint32_t> test_spec_park_pending_{0};  // test-only park gate, see above
+  std::atomic<bool> test_spec_parked_{false};
+  std::atomic<bool> test_spec_park_release_{false};
   unsigned stripes_;  // power of two in [1, VmaIndex::kMaxStripes]
   std::unique_ptr<VmLock> lock_;
   VmaIndex index_;
@@ -303,6 +416,24 @@ class AddressSpace {
   // Per-stripe mmap cursors, cache-line padded: mmaps from different home stripes
   // bounce no shared line (the PR 4 cursor was one global atomic).
   std::unique_ptr<CacheAligned<std::atomic<uint64_t>>[]> cursors_;
+  // Per-stripe deferred-sweep queues, same ownership shape as the stripes' retire
+  // lists: a page range's queue is its stripe's, so stripe-confined churn flushes
+  // without touching (or locking) another stripe's queue.
+  std::unique_ptr<CacheAligned<SweepQueue>[]> sweeps_;
+  // Per-stripe tombstone GC: budget-exhausted sweeps leave tombstones in their queue
+  // (see SweepQueue::FinishClaimed) that must outlive every fault in flight when they
+  // settled — any of those could be a robbed loser still owing a RaiseClaimed. One
+  // grace ticket per stripe covers every settled batch up to `hi`; when it elapses
+  // (non-blocking poll on the next flush) those batches purge for free. `batch` hands
+  // each flush its monotone stamp.
+  struct SweepGc {
+    SpinLock lock;
+    EpochDomain::GraceTicket ticket;
+    uint64_t hi = 0;
+    bool armed = false;
+    std::atomic<uint64_t> batch{0};
+  };
+  std::unique_ptr<CacheAligned<SweepGc>[]> sweep_gc_;
 };
 
 }  // namespace srl::vm

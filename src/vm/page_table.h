@@ -17,7 +17,7 @@
 
 #include <cstdint>
 #include <mutex>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/sync/cacheline.h"
@@ -49,10 +49,25 @@ class PageTable {
   }
 
   // Installs the page; returns true if it was not already present (a "major" fault).
-  bool Install(uint64_t page_index) {
+  // On install, *ticket receives a shard-unique install ticket (never 0) identifying
+  // THIS installation of the page — a later RemoveExact with the same ticket removes
+  // the page only if no one re-installed it in between. On a minor fault (page already
+  // present) *ticket is set to 0.
+  bool Install(uint64_t page_index, uint64_t* ticket = nullptr) {
     Shard& s = ShardFor(page_index);
     std::lock_guard<SpinLock> g(s.lock);
-    return s.pages.insert(page_index).second;
+    const auto [it, inserted] = s.pages.try_emplace(page_index, s.next_ticket);
+    if (inserted) {
+      if (ticket != nullptr) {
+        *ticket = s.next_ticket;
+      }
+      ++s.next_ticket;
+      return true;
+    }
+    if (ticket != nullptr) {
+      *ticket = 0;
+    }
+    return false;
   }
 
   bool Present(uint64_t page_index) {
@@ -61,12 +76,29 @@ class PageTable {
     return s.pages.count(page_index) != 0;
   }
 
-  // Drops one page; returns true if it was present. The speculative fault path uses
-  // this to undo an install whose post-install validation failed.
+  // Drops one page; returns true if it was present. Blind removal: whatever install
+  // currently backs the page is erased, including another thread's. Only the broken-
+  // undo test hook still uses this on the fault path; see RemoveExact.
   bool Remove(uint64_t page_index) {
     Shard& s = ShardFor(page_index);
     std::lock_guard<SpinLock> g(s.lock);
     return s.pages.erase(page_index) > 0;
+  }
+
+  // Drops the page only if it is still backed by the install that produced `ticket`.
+  // The speculative fault path uses this to undo ITS OWN install after a failed
+  // validation: with deferred sweeps, the page it installed may already have been
+  // swept and re-installed by a racing (winning) fault — a blind Remove would erase
+  // the winner's page and corrupt its VMA's present-page accounting.
+  bool RemoveExact(uint64_t page_index, uint64_t ticket) {
+    Shard& s = ShardFor(page_index);
+    std::lock_guard<SpinLock> g(s.lock);
+    const auto it = s.pages.find(page_index);
+    if (it == s.pages.end() || it->second != ticket) {
+      return false;
+    }
+    s.pages.erase(it);
+    return true;
   }
 
   // Present pages in [first_page, last_page) — the fault-vs-unmap batteries assert this
@@ -84,7 +116,7 @@ class PageTable {
     }
     for (const std::size_t i : ShardsCovering(first_page, last_page)) {
       std::lock_guard<SpinLock> g(shards_[i].value.lock);
-      for (const uint64_t p : shards_[i].value.pages) {
+      for (const auto& [p, ticket] : shards_[i].value.pages) {
         if (p >= first_page && p < last_page) {
           ++n;
         }
@@ -93,30 +125,65 @@ class PageTable {
     return n;
   }
 
-  // Drops all pages in [first_page, last_page). A wide range sweeps only the shard
-  // groups of the stripes the range covers — a stripe-confined munmap never touches
-  // (or locks) another stripe's shards.
-  void RemoveRange(uint64_t first_page, uint64_t last_page) {
+  // Drops pages in [first_page, last_page), returning how many were present. A wide
+  // range sweeps only the shard groups of the stripes the range covers — a
+  // stripe-confined munmap never touches (or locks) another stripe's shards.
+  // `max_present` is the caller's proven upper bound on pages present in the range
+  // (a dying VMA's present_hint sum): once that many have been erased, no more can
+  // exist and the probe stops — a sparsely-faulted region costs its installs, not
+  // its size. Pass the default when no bound is known.
+  //
+  // `resume` (optional) reports where the probe stopped: after a full walk it is
+  // `last_page`; after an early budget stop it is the bound below which every page
+  // has provably been probed — anything the caller's bound failed to cover can only
+  // survive in [*resume, last_page). The narrow path erases in ascending page order
+  // so its stop point is exact; the wide path visits shards out of page order, so an
+  // early stop there reports `first_page` (the whole range stays suspect).
+  std::size_t RemoveRange(uint64_t first_page, uint64_t last_page,
+                          uint64_t max_present = UINT64_MAX,
+                          uint64_t* resume = nullptr) {
+    std::size_t erased = 0;
+    if (resume != nullptr) {
+      *resume = first_page;
+    }
+    if (max_present == 0) {
+      return 0;
+    }
     if (last_page - first_page <= 4096) {
       // Narrow ranges (the common arena-trim case): erase page by page.
       for (uint64_t p = first_page; p < last_page; ++p) {
         Shard& s = ShardFor(p);
         std::lock_guard<SpinLock> g(s.lock);
-        s.pages.erase(p);
+        if (s.pages.erase(p) != 0 && ++erased == max_present) {
+          if (resume != nullptr) {
+            *resume = p + 1;
+          }
+          return erased;
+        }
       }
-      return;
+      if (resume != nullptr) {
+        *resume = last_page;
+      }
+      return erased;
     }
     for (const std::size_t i : ShardsCovering(first_page, last_page)) {
       std::lock_guard<SpinLock> g(shards_[i].value.lock);
       auto& pages = shards_[i].value.pages;
       for (auto it = pages.begin(); it != pages.end();) {
-        if (*it >= first_page && *it < last_page) {
+        if (it->first >= first_page && it->first < last_page) {
           it = pages.erase(it);
+          if (++erased == max_present) {
+            return erased;  // unordered scan: *resume stays first_page
+          }
         } else {
           ++it;
         }
       }
     }
+    if (resume != nullptr) {
+      *resume = last_page;
+    }
+    return erased;
   }
 
   std::size_t Count() const {
@@ -134,7 +201,9 @@ class PageTable {
     std::vector<uint64_t> out;
     for (std::size_t i = 0; i < kShards; ++i) {
       std::lock_guard<SpinLock> g(shards_[i].value.lock);
-      out.insert(out.end(), shards_[i].value.pages.begin(), shards_[i].value.pages.end());
+      for (const auto& [p, ticket] : shards_[i].value.pages) {
+        out.push_back(p);
+      }
     }
     return out;
   }
@@ -142,7 +211,10 @@ class PageTable {
  private:
   struct Shard {
     mutable SpinLock lock;
-    std::unordered_set<uint64_t> pages;
+    // page index -> install ticket (see Install/RemoveExact). Tickets start at 1 so 0
+    // can mean "minor fault, no install of mine to undo".
+    std::unordered_map<uint64_t, uint64_t> pages;
+    uint64_t next_ticket = 1;
   };
 
   // Page index relative to the first stripe window (pages below it belong to group 0,

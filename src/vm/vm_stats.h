@@ -9,7 +9,8 @@
 // mmap cursor overflow) are additionally kept per stripe in cache-line-padded slots, so
 // the isolation claim — churn in stripe A causes no speculative-fault retries in
 // stripe B — is directly observable rather than inferred. The flat totals remain the
-// authoritative aggregates (they are bumped on the same events).
+// authoritative aggregates (they are bumped on the same events) — EXCEPT the per-fault
+// success counters, which are per-stripe only and aggregated on read (see Faults()).
 #ifndef SRL_VM_VM_STATS_H_
 #define SRL_VM_VM_STATS_H_
 
@@ -23,28 +24,29 @@ namespace srl::vm {
 
 // Per-stripe slice of the counters below; see VmStats::stripe().
 struct VmStripeStats {
+  std::atomic<uint64_t> faults{0};             // faults whose address lands in this stripe
+  std::atomic<uint64_t> major_faults{0};       // of those, pages actually installed
   std::atomic<uint64_t> scoped_structural{0};  // structural ops completed stripe-scoped
   std::atomic<uint64_t> scoped_fallback{0};    // ops starting in this stripe that degraded
   std::atomic<uint64_t> fault_spec_ok{0};      // lock-free faults resolved in this stripe
   std::atomic<uint64_t> fault_spec_retry{0};   // speculative attempts retried (same-stripe churn)
   std::atomic<uint64_t> find_retries{0};       // optimistic walks of this stripe's tree retried
   std::atomic<uint64_t> mmap_overflow{0};      // mmaps that overflowed INTO this stripe
+  std::atomic<uint64_t> sweep_flushes{0};      // deferred-sweep flushes of this stripe's queue
 };
 
 struct VmStats {
   std::atomic<uint64_t> mmaps{0};
   std::atomic<uint64_t> munmaps{0};
   std::atomic<uint64_t> mprotects{0};
-  std::atomic<uint64_t> faults{0};
-  std::atomic<uint64_t> major_faults{0};   // page actually installed
   std::atomic<uint64_t> fault_errors{0};   // unmapped address or protection violation
   std::atomic<uint64_t> fault_try_ok{0};        // fault admitted by the trylock fast path
   std::atomic<uint64_t> fault_try_fallback{0};  // trylock failed; blocked on the read lock
-  // Lock-free speculative fault path (scoped variants): faults resolved without any
-  // range acquisition, attempts that had to retry (validation failure / torn metadata
-  // read), and faults that exhausted their attempts (or observed a gap, which only the
-  // locked path may adjudicate) and degraded to the trylock-first locked path.
-  std::atomic<uint64_t> fault_spec_ok{0};
+  // Lock-free speculative fault path (scoped variants): attempts that had to retry
+  // (validation failure / torn metadata read), and faults that exhausted their attempts
+  // (or observed a gap, which only the locked path may adjudicate) and degraded to the
+  // trylock-first locked path. The per-fault success counters (faults, major_faults,
+  // fault_spec_ok) have NO flat atomic: see the aggregated accessors below.
   std::atomic<uint64_t> fault_spec_retry{0};
   std::atomic<uint64_t> fault_spec_fallback{0};
   std::atomic<uint64_t> spec_success{0};   // mprotect completed on the speculative path
@@ -62,6 +64,16 @@ struct VmStats {
   // Optimistic mm_rb walks (VmaStripe::FindOptimistic) that overlapped a structural
   // mutation and retried.
   std::atomic<uint64_t> find_retries{0};
+  // Deferred page sweeps (see README "Deferred page sweeps"): dead page ranges queued
+  // instead of swept inline, enqueues that coalesced with already-queued ranges, pages
+  // actually erased by the flusher, flush passes run, and sweeps skipped outright
+  // because the dying VMA's present-page hint proved it never faulted a page.
+  std::atomic<uint64_t> sweeps_queued{0};         // ranges enqueued
+  std::atomic<uint64_t> sweeps_queued_pages{0};   // pages enqueued (pre-coalescing)
+  std::atomic<uint64_t> sweeps_coalesced{0};      // pre-existing ranges absorbed
+  std::atomic<uint64_t> sweeps_swept_pages{0};    // pages erased by flushes
+  std::atomic<uint64_t> sweeps_flushes{0};        // flush passes (claim + sweep)
+  std::atomic<uint64_t> sweeps_skipped_empty{0};  // empty-VMA sweeps skipped
 
   // --- Per-stripe slices (sized by AddressSpace at construction) ---
 
@@ -73,14 +85,22 @@ struct VmStats {
   VmStripeStats& stripe(unsigned i) { return per_stripe_[i].value; }
   const VmStripeStats& stripe(unsigned i) const { return per_stripe_[i].value; }
 
+  // The counters bumped once per successful fault are kept per-stripe ONLY, unlike
+  // the rest of the flat totals: at millions of faults a second a shared fetch_add
+  // per fault serializes every faulting thread on one cache line — exactly the
+  // cross-stripe coupling the stripes exist to remove. The flat totals for those
+  // aggregate on read instead.
+  uint64_t Faults() const { return SumStripes(&VmStripeStats::faults); }
+  uint64_t MajorFaults() const { return SumStripes(&VmStripeStats::major_faults); }
+  uint64_t FaultSpecOk() const { return SumStripes(&VmStripeStats::fault_spec_ok); }
+
   // Fraction of page faults resolved entirely lock-free (scoped variants; 0 elsewhere).
   double FaultSpecRate() const {
-    const uint64_t total = faults.load(std::memory_order_relaxed);
+    const uint64_t total = Faults();
     if (total == 0) {
       return 0.0;
     }
-    return static_cast<double>(fault_spec_ok.load(std::memory_order_relaxed)) /
-           static_cast<double>(total);
+    return static_cast<double>(FaultSpecOk()) / static_cast<double>(total);
   }
 
   // Fraction of page faults admitted without blocking — what bench/abl_trylock sweeps.
@@ -114,6 +134,14 @@ struct VmStats {
   }
 
  private:
+  uint64_t SumStripes(std::atomic<uint64_t> VmStripeStats::*m) const {
+    uint64_t sum = 0;
+    for (unsigned i = 0; i < stripe_count_; ++i) {
+      sum += (per_stripe_[i].value.*m).load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
   unsigned stripe_count_ = 0;
   std::unique_ptr<CacheAligned<VmStripeStats>[]> per_stripe_;
 };

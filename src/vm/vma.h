@@ -61,6 +61,15 @@ struct Vma {
   // True once the VMA has been unlinked from mm_rb (set inside the unlinking seqlock
   // write section, before the structural seqcount goes even again).
   std::atomic<bool> detached{false};
+  // Upper bound on the pages of [start, end) present in the page table. Every install
+  // attributed to this VMA increments it; the only decrement is a losing speculative
+  // fault exactly undoing its own install (RemoveExact success), so the bound can only
+  // inflate — deferred sweeps and MADV_DONTNEED drop pages without decrementing, and a
+  // split copies the parent's value to the new piece. AddressSpace uses hint == 0 to
+  // skip enqueueing sweeps for VMAs that never faulted a page (sound because the bound
+  // never under-counts), asserts hint >= CountRange(start, end) in CheckInvariants,
+  // and resyncs it to the exact count there (post-drain, under the full write lock).
+  std::atomic<uint64_t> present_hint{0};
 
   uint64_t Start() const { return start.load(std::memory_order_relaxed); }
   uint64_t End() const { return end.load(std::memory_order_relaxed); }

@@ -126,6 +126,8 @@ class VmaStripe {
 
   // --- Deferred reclamation ---
   void MaybeFlushRetired() { retire_.MaybeFlush(); }
+  // Tunes this stripe's retire-list batch size (see SharedRetireList::kFlushThreshold).
+  void SetRetireFlushThreshold(std::size_t n) { retire_.SetFlushThreshold(n); }
 
   // --- Iteration / introspection (caller excludes this stripe's mutators) ---
   Vma* First() const { return tree_.First(); }

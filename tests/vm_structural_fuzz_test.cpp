@@ -165,7 +165,9 @@ TEST_P(VmStructuralFuzzTest, SequentialMixMatchesOracle) {
     }
   }
 
-  // Final deep check: the VMA snapshot must tile exactly the oracle's pages.
+  // Final deep check: the VMA snapshot must tile exactly the oracle's pages. Deferred
+  // sweeps move the oracle's drain edge to the flush, so settle them first.
+  as.DrainSweeps();
   std::map<uint64_t, uint32_t> from_vmas;
   for (const VmaInfo& v : as.SnapshotVmas()) {
     for (uint64_t p = v.start / kPage; p < v.end / kPage; ++p) {
@@ -216,7 +218,10 @@ TEST_P(VmStructuralFuzzTest, ConcurrentStructuralMixKeepsInvariants) {
 
   std::thread checker([&] {
     while (!done.load(std::memory_order_acquire)) {
-      if (!as.CheckInvariants()) {
+      // strict_present_counts=false: in-flight installs make the per-VMA hint
+      // reconciliation meaningless against live faulters; the final post-join
+      // CheckInvariants below runs the strict form.
+      if (!as.CheckInvariants(/*strict_present_counts=*/false)) {
         checker_ok.store(false);
         return;
       }
@@ -322,7 +327,7 @@ TEST_P(VmStructuralFuzzTest, ConcurrentStructuralMixKeepsInvariants) {
     // The speculative fault path must carry real load here, not just exist: per-thread
     // arena faults are the common case and the oracle above held them to exact
     // outcomes while the speculation ran.
-    EXPECT_GT(as.Stats().fault_spec_ok.load(), 0u)
+    EXPECT_GT(as.Stats().FaultSpecOk(), 0u)
         << "speculative faults never engaged (retries="
         << as.Stats().fault_spec_retry.load()
         << " fallbacks=" << as.Stats().fault_spec_fallback.load() << ")";

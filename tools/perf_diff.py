@@ -47,7 +47,7 @@ import os
 import sys
 
 KEY_COLUMNS = {"variant", "threads", "readers", "lock", "segments", "pool", "list-len",
-               "workload", "mode", "bench", "stripes", "stripe", "role"}
+               "workload", "mode", "bench", "stripes", "stripe", "role", "cold-drop"}
 STDDEV_COLUMN = "rel-stddev%"
 
 
