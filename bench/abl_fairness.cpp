@@ -2,7 +2,7 @@
 // latency benefit of the impatient counter + auxiliary phase-fair lock, under a
 // CAS-churn-heavy workload (many short overlapping acquisitions at one hot spot).
 //
-// Flags: --threads=4,8  --secs=0.4  --csv
+// Flags: --threads=4,8  --secs=0.4  --csv  --json=BENCH_fairness.json
 #include <algorithm>
 #include <atomic>
 #include <iostream>
@@ -56,7 +56,8 @@ Outcome Run(LockT& lock, int threads, double secs) {
 int main(int argc, char** argv) {
   srl::Cli cli(argc, argv);
   if (cli.Has("--help")) {
-    std::cout << "abl_fairness --threads=4,8 --secs=0.4 --csv\n";
+    std::cout << "abl_fairness --threads=4,8 --secs=0.4 --csv "
+                 "--json=BENCH_fairness.json\n";
     return 0;
   }
   const std::vector<int> threads = cli.GetIntList("--threads", {4, 8});
@@ -83,5 +84,8 @@ int main(int argc, char** argv) {
     }
   }
   table.Print(std::cout, csv);
-  return 0;
+
+  srl::BenchJson json("abl_fairness");
+  json.AddTable({{"workload", "hot-spot CAS churn, 4B ranges in an 8B window"}}, table);
+  return json.Write(cli.JsonPath()) ? 0 : 1;
 }

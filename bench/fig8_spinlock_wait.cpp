@@ -2,7 +2,7 @@
 // (§7.2), for tree-full and tree-refined. This is the lock the paper identifies as the
 // central bottleneck of the kernel's existing range-lock design.
 //
-// Flags: --threads=1,2,4,8  --total-kb=768  --rounds=6  --csv
+// Flags: --threads=1,2,4,8  --total-kb=768  --rounds=6  --csv  --json=BENCH_fig8.json
 #include <iostream>
 #include <string>
 #include <vector>
@@ -13,7 +13,7 @@
 namespace srl::bench {
 namespace {
 
-void RunApp(metis::MetisApp app, const Cli& cli) {
+void RunApp(metis::MetisApp app, const Cli& cli, BenchJson* json) {
   const std::vector<int> threads = cli.GetIntList("--threads", {1, 2, 4, 8});
   const bool csv = cli.GetBool("--csv");
 
@@ -35,6 +35,7 @@ void RunApp(metis::MetisApp app, const Cli& cli) {
     }
   }
   table.Print(std::cout, csv);
+  json->AddTable({{"app", metis::MetisAppName(app)}}, table);
 }
 
 }  // namespace
@@ -43,12 +44,14 @@ void RunApp(metis::MetisApp app, const Cli& cli) {
 int main(int argc, char** argv) {
   srl::Cli cli(argc, argv);
   if (cli.Has("--help")) {
-    std::cout << "fig8_spinlock_wait --threads=1,2,4,8 --total-kb=768 --rounds=6 --csv\n";
+    std::cout << "fig8_spinlock_wait --threads=1,2,4,8 --total-kb=768 --rounds=6 --csv "
+                 "--json=BENCH_fig8.json\n";
     return 0;
   }
+  srl::BenchJson json("fig8_spinlock_wait");
   for (srl::metis::MetisApp app : {srl::metis::MetisApp::kWr, srl::metis::MetisApp::kWc,
                                    srl::metis::MetisApp::kWrmem}) {
-    srl::bench::RunApp(app, cli);
+    srl::bench::RunApp(app, cli, &json);
   }
-  return 0;
+  return json.Write(cli.JsonPath()) ? 0 : 1;
 }

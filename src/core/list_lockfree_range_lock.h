@@ -51,9 +51,11 @@
 #include "src/core/range.h"
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/node_pool.h"
+#include "src/sync/admission.h"
 #include "src/sync/cacheline.h"
 #include "src/sync/deadline.h"
 #include "src/sync/pause.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -193,10 +195,6 @@ class ListLockFreeRangeLock {
   }
 
  private:
-  // How long to watch a conflicting node before briefly leaving the epoch critical
-  // section and re-traversing (same rationale as list_range_lock.h).
-  static constexpr int kWatchSpins = 512;
-
   static std::size_t ClampBuckets(std::size_t buckets) {
     if (buckets < 1) {
       return 1;
@@ -277,6 +275,12 @@ class ListLockFreeRangeLock {
   bool AcquireImpl(const Range& range, const Deadline& deadline, Handle* out) {
     assert(range.Valid() && "range locks require start < end");
     const uint64_t mask = CoveredMask(range);
+    // Concurrency restriction across the whole (possibly multi-bucket) acquisition.
+    // The spinner's rotation on Pause() is load-bearing for deadlock freedom here: a
+    // parked thread may hold nodes in buckets < b that active spinners in those
+    // buckets wait on, and their own Pause() calls are what cycle it back into the
+    // active set (see admission.h). Timed and immediate deadlines make it inert.
+    AdmissionSpinner gate_spinner(&gate_, deadline);
     // The epoch critical section is entered lazily, only once some bucket takes the
     // slow path: fast-path buckets never dereference another thread's node, so an
     // acquisition whose every covered bucket is empty pays no epoch fence at all.
@@ -309,7 +313,7 @@ class ListLockFreeRangeLock {
           rec = CurrentThreadRec(EpochDomain::Global());
           EpochDomain::Enter(rec);
         }
-        inserted = InsertNode(&head, node, rec, deadline);
+        inserted = InsertNode(&head, node, rec, deadline, gate_spinner);
       }
       if (!inserted) {
         NodePool<LNode>::Local().Recycle(node);  // never entered a list
@@ -351,7 +355,8 @@ class ListLockFreeRangeLock {
   // InsertNode minus the fairness failure budget (the fair layer wraps the single-list
   // lock, not this one).
   bool InsertNode(std::atomic<uintptr_t>* head, LNode* node,
-                  EpochDomain::ThreadRec* rec, const Deadline& deadline) {
+                  EpochDomain::ThreadRec* rec, const Deadline& deadline,
+                  AdmissionSpinner& gate_spinner) {
     for (;;) {
       std::atomic<uintptr_t>* prev = head;
       uintptr_t cur_word = prev->load(std::memory_order_acquire);
@@ -395,7 +400,7 @@ class ListLockFreeRangeLock {
             continue;
           }
           if (rel == 0) {
-            const WaitResult w = WaitForRelease(cur, rec, deadline);
+            const WaitResult w = WaitForRelease(cur, rec, deadline, gate_spinner);
             if (w == WaitResult::kTimedOut) {
               return false;
             }
@@ -421,24 +426,27 @@ class ListLockFreeRangeLock {
   }
 
   // Watches `cur` until its owner releases it or the deadline expires; identical to
-  // list_range_lock.h (see the rationale there).
+  // list_range_lock.h (see the rationale there). Audit (wait-loop unification):
+  // bounded watch on SpinWait; the yield between watch rounds runs outside the epoch
+  // critical section via gate_spinner.Pause(), which also rotates the admission slot.
   WaitResult WaitForRelease(const LNode* cur, EpochDomain::ThreadRec* rec,
-                            const Deadline& deadline) {
+                            const Deadline& deadline, AdmissionSpinner& gate_spinner) {
     if (deadline.IsImmediate()) {
       return IsMarked(cur->next.load(std::memory_order_acquire)) ? WaitResult::kReleased
                                                                  : WaitResult::kTimedOut;
     }
-    for (int i = 0; i < kWatchSpins; ++i) {
+    SpinWait spin;
+    for (int i = 0; !spin.Yielding(); ++i) {
       if (IsMarked(cur->next.load(std::memory_order_acquire))) {
         return WaitResult::kReleased;
       }
       if ((i + 1) % Deadline::kSpinsPerClockCheck == 0 && deadline.Expired()) {
         return WaitResult::kTimedOut;
       }
-      CpuRelax();
+      spin.Spin();
     }
     EpochDomain::Exit(rec);
-    std::this_thread::yield();
+    gate_spinner.Pause();
     EpochDomain::Enter(rec);
     return deadline.Expired() ? WaitResult::kTimedOut : WaitResult::kRestart;
   }
@@ -449,6 +457,8 @@ class ListLockFreeRangeLock {
   const uint64_t all_mask_;  // low bucket_count_ bits set
   // One cache line per head: disjoint buckets must not false-share.
   const std::unique_ptr<CacheAligned<std::atomic<uintptr_t>>[]> heads_;
+  // Caps active contenders on the slow path (see AcquireImpl).
+  AdmissionGate gate_;
 };
 
 }  // namespace srl

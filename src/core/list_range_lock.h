@@ -28,8 +28,10 @@
 #include "src/core/range.h"
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/node_pool.h"
+#include "src/sync/admission.h"
 #include "src/sync/deadline.h"
 #include "src/sync/pause.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -164,10 +166,6 @@ class ListRangeLock {
   }
 
  private:
-  // How long to watch a conflicting node before briefly leaving the epoch critical
-  // section and re-traversing. See the header comment.
-  static constexpr int kWatchSpins = 512;
-
   // Listing 1's compare(): relationship of `cur` (in-list) to `node` (to insert).
   //  -1: cur entirely precedes node — keep traversing.
   //   0: overlap — must wait for cur's release.
@@ -211,8 +209,14 @@ class ListRangeLock {
     }
 
     EpochDomain::ThreadRec* rec = CurrentThreadRec(EpochDomain::Global());
+    // Concurrency restriction for the slow path: once yielding between watch rounds,
+    // the spinner caps how many contenders actively re-traverse at ~#cores and parks
+    // the surplus (outside the epoch critical section — Pause runs between
+    // Exit/Enter, so a parked thread never pins reclamation). Timed and immediate
+    // deadlines make it inert. The slot, if held, releases when this frame returns.
+    AdmissionSpinner gate_spinner(&gate_, deadline);
     EpochDomain::Enter(rec);
-    const bool ok = InsertNode(node, rec, max_failures, deadline);
+    const bool ok = InsertNode(node, rec, max_failures, deadline, gate_spinner);
     EpochDomain::Exit(rec);
     if (ok) {
       *out = node;
@@ -234,7 +238,7 @@ class ListRangeLock {
   // to be in the list — exclusive waiters abort *before* insertion, so an abandoned
   // acquisition leaves nothing behind).
   bool InsertNode(LNode* node, EpochDomain::ThreadRec* rec, int max_failures,
-                  const Deadline& deadline) {
+                  const Deadline& deadline, AdmissionSpinner& gate_spinner) {
     int failures = 0;
     for (;;) {
       std::atomic<uintptr_t>* prev = &head_;
@@ -280,7 +284,7 @@ class ListRangeLock {
             continue;
           }
           if (rel == 0) {
-            const WaitResult w = WaitForRelease(cur, rec, deadline);
+            const WaitResult w = WaitForRelease(cur, rec, deadline, gate_spinner);
             if (w == WaitResult::kTimedOut) {
               return false;
             }
@@ -318,36 +322,46 @@ class ListRangeLock {
     }
   }
 
-  // Watches `cur` until its owner releases it or the deadline expires. After
-  // kWatchSpins, briefly exits the epoch critical section (so reclamation barriers are
-  // never blocked behind an application critical section) and reports kRestart, telling
-  // the caller to re-traverse. An immediate deadline never watches at all: the trylock
-  // contract is to fail as soon as a wait would begin.
+  // Watches `cur` until its owner releases it or the deadline expires. Once the
+  // bounded watch is exhausted, briefly exits the epoch critical section (so
+  // reclamation barriers are never blocked behind an application critical section) and
+  // reports kRestart, telling the caller to re-traverse. An immediate deadline never
+  // watches at all: the trylock contract is to fail as soon as a wait would begin.
+  //
+  // Audit (wait-loop unification): the watch runs on SpinWait instead of a hand-rolled
+  // kWatchSpins CpuRelax loop. SpinWait's switch to yielding is the signal to stop
+  // watching — the yield itself must happen OUTSIDE the epoch critical section, so it
+  // is delegated to gate_spinner.Pause(), which also rotates the admission slot
+  // (capping how many watchers burn scheduler quanta under oversubscription).
   WaitResult WaitForRelease(const LNode* cur, EpochDomain::ThreadRec* rec,
-                            const Deadline& deadline) {
+                            const Deadline& deadline, AdmissionSpinner& gate_spinner) {
     if (deadline.IsImmediate()) {
       return IsMarked(cur->next.load(std::memory_order_acquire)) ? WaitResult::kReleased
                                                                  : WaitResult::kTimedOut;
     }
-    for (int i = 0; i < kWatchSpins; ++i) {
+    SpinWait spin;
+    for (int i = 0; !spin.Yielding(); ++i) {
       if (IsMarked(cur->next.load(std::memory_order_acquire))) {
         return WaitResult::kReleased;
       }
       if ((i + 1) % Deadline::kSpinsPerClockCheck == 0 && deadline.Expired()) {
         return WaitResult::kTimedOut;
       }
-      CpuRelax();
+      spin.Spin();
     }
     EpochDomain::Exit(rec);
-    // Outside the critical section, cede the CPU: on an oversubscribed host the holder
-    // may be preempted, and re-traversing in a tight loop would just burn our quantum.
-    std::this_thread::yield();
+    // Outside the critical section, cede the CPU (rotating the admission slot): on an
+    // oversubscribed host the holder may be preempted — or parked at the gate — and
+    // re-traversing in a tight loop would just burn our quantum.
+    gate_spinner.Pause();
     EpochDomain::Enter(rec);
     return deadline.Expired() ? WaitResult::kTimedOut : WaitResult::kRestart;
   }
 
   std::atomic<uintptr_t> head_{0};
   Options options_;
+  // Caps active contenders on the slow path (see AcquireImpl).
+  AdmissionGate gate_;
 };
 
 }  // namespace srl

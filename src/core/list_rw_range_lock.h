@@ -26,9 +26,11 @@
 #include "src/core/range.h"
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/node_pool.h"
+#include "src/sync/admission.h"
 #include "src/sync/deadline.h"
 #include "src/sync/fence.h"
 #include "src/sync/pause.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -191,7 +193,6 @@ class ListRwRangeLock {
   }
 
  private:
-  static constexpr int kWatchSpins = 512;
 
   // Listing 2's compare(): relationship of `cur` (in-list) to `node` (to insert).
   //  -1: keep traversing (cur precedes node, or reader-reader ordered by start).
@@ -218,6 +219,11 @@ class ListRwRangeLock {
                    const Deadline& deadline, Handle* out) {
     assert(range.Valid() && "range locks require start < end");
     EpochDomain::ThreadRec* rec = CurrentThreadRec(EpochDomain::Global());
+    // Concurrency restriction across the whole acquisition (all validation restarts
+    // included): once yielding between watch rounds the spinner caps active contenders
+    // at ~#cores and parks the surplus, always outside the epoch critical section.
+    // Timed and immediate deadlines make it inert.
+    AdmissionSpinner gate_spinner(&gate_, deadline);
     int failures = 0;
     // Writer validation failure restarts the whole acquisition with a fresh node
     // (Listing 2's do/while): the failed node is already marked inside the list and will
@@ -243,7 +249,8 @@ class ListRwRangeLock {
       }
 
       EpochDomain::Enter(rec);
-      const InsertResult res = InsertNode(node, rec, max_failures, deadline, &failures);
+      const InsertResult res =
+          InsertNode(node, rec, max_failures, deadline, &failures, gate_spinner);
       EpochDomain::Exit(rec);
       switch (res) {
         case InsertResult::kAcquired:
@@ -284,7 +291,8 @@ class ListRwRangeLock {
   enum class WaitResult { kReleased, kRestart, kTimedOut };
 
   InsertResult InsertNode(LNode* node, EpochDomain::ThreadRec* rec, int max_failures,
-                          const Deadline& deadline, int* failures) {
+                          const Deadline& deadline, int* failures,
+                          AdmissionSpinner& gate_spinner) {
     for (;;) {
       std::atomic<uintptr_t>* prev = &head_;
       uintptr_t cur_word = prev->load(std::memory_order_acquire);
@@ -324,7 +332,7 @@ class ListRwRangeLock {
             continue;
           }
           if (rel == 0) {
-            const WaitResult w = WaitForRelease(cur, rec, deadline);
+            const WaitResult w = WaitForRelease(cur, rec, deadline, gate_spinner);
             if (w == WaitResult::kTimedOut) {
               return InsertResult::kGaveUp;  // pre-insertion: node never entered
             }
@@ -342,8 +350,9 @@ class ListRwRangeLock {
           // file comment): both sides cannot miss each other's nodes.
           SeqCstFence();
           if (node->reader) {
-            return RValidate(node, rec, deadline) ? InsertResult::kAcquired
-                                                  : InsertResult::kValidationFailed;
+            return RValidate(node, rec, deadline, gate_spinner)
+                       ? InsertResult::kAcquired
+                       : InsertResult::kValidationFailed;
           }
           return WValidate(node) ? InsertResult::kAcquired
                                  : InsertResult::kValidationFailed;
@@ -360,7 +369,8 @@ class ListRwRangeLock {
   // in this scheme). Under an immediate or expired deadline the reader aborts instead of
   // waiting: it is already enqueued, so it self-deletes — marks its own node exactly
   // like a release would — and returns false; later traversals unlink and reclaim it.
-  bool RValidate(LNode* node, EpochDomain::ThreadRec* rec, const Deadline& deadline) {
+  bool RValidate(LNode* node, EpochDomain::ThreadRec* rec, const Deadline& deadline,
+                 AdmissionSpinner& gate_spinner) {
     for (;;) {
       std::atomic<uintptr_t>* prev = &node->next;
       uintptr_t cur_word = Unmark(prev->load(std::memory_order_acquire));
@@ -389,7 +399,7 @@ class ListRwRangeLock {
           continue;
         }
         // Conflicting writer: wait for it to release, then re-examine.
-        switch (WaitForRelease(cur, rec, deadline)) {
+        switch (WaitForRelease(cur, rec, deadline, gate_spinner)) {
           case WaitResult::kReleased:
             break;
           case WaitResult::kRestart:
@@ -452,25 +462,31 @@ class ListRwRangeLock {
     }
   }
 
+  // Audit (wait-loop unification): bounded watch on SpinWait instead of a hand-rolled
+  // kWatchSpins CpuRelax loop; the switch to yielding signals the epoch-CS cycle, and
+  // the yield itself runs outside the CS via gate_spinner.Pause(), which also rotates
+  // the admission slot. See ListRangeLock::WaitForRelease.
   WaitResult WaitForRelease(const LNode* cur, EpochDomain::ThreadRec* rec,
-                            const Deadline& deadline) {
+                            const Deadline& deadline, AdmissionSpinner& gate_spinner) {
     if (deadline.IsImmediate()) {
       return IsMarked(cur->next.load(std::memory_order_acquire)) ? WaitResult::kReleased
                                                                  : WaitResult::kTimedOut;
     }
-    for (int i = 0; i < kWatchSpins; ++i) {
+    SpinWait spin;
+    for (int i = 0; !spin.Yielding(); ++i) {
       if (IsMarked(cur->next.load(std::memory_order_acquire))) {
         return WaitResult::kReleased;
       }
       if ((i + 1) % Deadline::kSpinsPerClockCheck == 0 && deadline.Expired()) {
         return WaitResult::kTimedOut;
       }
-      CpuRelax();
+      spin.Spin();
     }
     EpochDomain::Exit(rec);
-    // See ListRangeLock::WaitForRelease: yield outside the critical section so a
-    // preempted holder can run instead of us re-traversing for a whole quantum.
-    std::this_thread::yield();
+    // Yield outside the critical section — rotating the admission slot — so a
+    // preempted (or gate-parked) holder can run instead of us re-traversing for a
+    // whole quantum.
+    gate_spinner.Pause();
     EpochDomain::Enter(rec);
     return deadline.Expired() ? WaitResult::kTimedOut : WaitResult::kRestart;
   }
@@ -478,6 +494,8 @@ class ListRwRangeLock {
   std::atomic<uintptr_t> head_{0};
   std::atomic<uint64_t> rvalidate_aborts_{0};  // see DebugRValidateAborts
   Options options_;
+  // Caps active contenders on the slow path (see AcquireImpl).
+  AdmissionGate gate_;
 };
 
 }  // namespace srl

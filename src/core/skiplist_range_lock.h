@@ -58,8 +58,10 @@
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/node_pool.h"
 #include "src/harness/prng.h"
+#include "src/sync/admission.h"
 #include "src/sync/deadline.h"
 #include "src/sync/pause.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -228,11 +230,6 @@ class SkiplistRangeLock {
   static const char* Name() { return "skiplist-indexed"; }
 
  private:
-  // How long to watch a conflicting node before briefly leaving the epoch critical
-  // section and re-traversing (same rationale as list_range_lock.h: a parked watcher
-  // must not pin the epoch for the holder's whole critical section).
-  static constexpr int kWatchSpins = 512;
-
   static SkipLockNode* ToSkipNode(uintptr_t word) {
     return reinterpret_cast<SkipLockNode*>(Unmark(word));
   }
@@ -298,24 +295,28 @@ class SkiplistRangeLock {
 
   // Watches `cur`'s level-0 mark until its owner releases it or the deadline
   // expires; identical contract to list_lockfree_range_lock.h's WaitForRelease.
+  // Audit (wait-loop unification): bounded watch on SpinWait (the hand-rolled
+  // kWatchSpins loop is gone); the inter-round yield runs outside the epoch critical
+  // section via gate_spinner.Pause(), which also rotates the admission slot.
   WaitResult WaitForRelease(const SkipLockNode* cur, EpochDomain::ThreadRec* rec,
-                            const Deadline& deadline) {
+                            const Deadline& deadline, AdmissionSpinner& gate_spinner) {
     if (deadline.IsImmediate()) {
       return IsMarked(cur->next[0].load(std::memory_order_acquire))
                  ? WaitResult::kReleased
                  : WaitResult::kTimedOut;
     }
-    for (int i = 0; i < kWatchSpins; ++i) {
+    SpinWait spin;
+    for (int i = 0; !spin.Yielding(); ++i) {
       if (IsMarked(cur->next[0].load(std::memory_order_acquire))) {
         return WaitResult::kReleased;
       }
       if ((i + 1) % Deadline::kSpinsPerClockCheck == 0 && deadline.Expired()) {
         return WaitResult::kTimedOut;
       }
-      CpuRelax();
+      spin.Spin();
     }
     EpochDomain::Exit(rec);
-    std::this_thread::yield();
+    gate_spinner.Pause();
     EpochDomain::Enter(rec);
     return deadline.Expired() ? WaitResult::kTimedOut : WaitResult::kRestart;
   }
@@ -331,6 +332,10 @@ class SkiplistRangeLock {
     SkipLockNode* preds[kMaxLevel];
     uintptr_t succs[kMaxLevel];
     EpochDomain::ThreadRec* rec = CurrentThreadRec(EpochDomain::Global());
+    // Concurrency restriction for the conflict-wait loop: once yielding between watch
+    // rounds the spinner caps active re-finders at ~#cores and parks the surplus,
+    // always outside the epoch critical section. Timed/immediate deadlines: inert.
+    AdmissionSpinner gate_spinner(&gate_, deadline);
     EpochDomain::Enter(rec);
     for (;;) {
       Find(range.start, preds, succs);
@@ -344,7 +349,7 @@ class SkiplistRangeLock {
         conflict = succ;
       }
       if (conflict != nullptr) {
-        const WaitResult w = WaitForRelease(conflict, rec, deadline);
+        const WaitResult w = WaitForRelease(conflict, rec, deadline, gate_spinner);
         if (w == WaitResult::kTimedOut) {
           EpochDomain::Exit(rec);
           NodePool<SkipLockNode>::Local().Recycle(node);  // never entered the index
@@ -406,6 +411,8 @@ class SkiplistRangeLock {
 
   // Head sentinel: never marked, never retired, start/end unused.
   SkipLockNode head_;
+  // Caps active contenders on the conflict-wait path (see AcquireImpl).
+  AdmissionGate gate_;
 };
 
 }  // namespace srl

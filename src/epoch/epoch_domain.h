@@ -20,10 +20,12 @@
 #ifndef SRL_EPOCH_EPOCH_DOMAIN_H_
 #define SRL_EPOCH_EPOCH_DOMAIN_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -37,7 +39,10 @@ namespace srl {
 // can exercise the machinery in isolation.
 class EpochDomain {
  public:
-  static constexpr std::size_t kMaxThreads = 512;
+  // Static record table. Sized for the oversubscription benches (bench/abl_oversub
+  // sweeps to 1024 concurrent threads) with headroom; each record is one cache line,
+  // so the table costs kMaxThreads * 64 bytes of static storage.
+  static constexpr std::size_t kMaxThreads = 2048;
 
   // Per-thread epoch record. Obtained once per thread (cached in a ThreadSlot by
   // CurrentThreadRec) and released when the thread exits. Fields beyond `epoch` and
@@ -241,8 +246,22 @@ class EpochDomain {
     return forced_quiesces_.load(std::memory_order_relaxed);
   }
 
-  static constexpr std::chrono::nanoseconds kDefaultForceQuiesceAfter =
-      std::chrono::milliseconds(250);
+  // Default watchdog threshold, derived from the core count at first use (the 250 ms
+  // constant was guessed on a one-core container — ROADMAP PR-5 carryover). Rationale:
+  // on a one-core host an idle open quantum usually means its owner is merely
+  // descheduled, so evicting early just churns sections that would have refreshed
+  // themselves; with real parallelism a stuck quantum blocks reclamation for every
+  // other core at once and barriers complete quickly, so eviction should come sooner.
+  // 250 ms / cores, floored at 50 ms; hardware_concurrency() == 1 reproduces the old
+  // 250 ms exactly. epoch_test asserts this derivation.
+  static std::chrono::nanoseconds DefaultForceQuiesceAfter() {
+    static const std::chrono::nanoseconds v = [] {
+      const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+      return std::max(std::chrono::nanoseconds(std::chrono::milliseconds(50)),
+                      std::chrono::nanoseconds(std::chrono::milliseconds(250)) / hw);
+    }();
+    return v;
+  }
 
   // Number of records currently registered (for tests / introspection).
   std::size_t LiveThreads() const;
@@ -255,7 +274,7 @@ class EpochDomain {
 
   ThreadRec recs_[kMaxThreads];
   std::atomic<std::size_t> high_water_{0};  // one past the highest slot ever used
-  std::atomic<int64_t> force_quiesce_after_ns_{kDefaultForceQuiesceAfter.count()};
+  std::atomic<int64_t> force_quiesce_after_ns_{DefaultForceQuiesceAfter().count()};
   std::atomic<uint64_t> forced_quiesces_{0};
 };
 

@@ -27,7 +27,7 @@
 // the floor covers the grace latency. The floor also *decays*: after a run of
 // shortage-free reap cycles it gives back one batch per further quiet cycle, so a
 // fault storm followed by a long quiet phase does not strand the storm's inventory
-// forever (see kDecayQuietRefills). Fresh pools behave exactly as the paper's
+// forever (see DecayQuietRefills()). Fresh pools behave exactly as the paper's
 // (target stays kTargetSize until the first shortage), which is also what keeps the
 // pool-size ablation meaningful.
 //
@@ -37,7 +37,9 @@
 #ifndef SRL_EPOCH_NODE_POOL_H_
 #define SRL_EPOCH_NODE_POOL_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -71,8 +73,16 @@ class NodePool {
   // A fault storm ratchets the floor up in minutes; without decay, the storm's
   // inventory stays resident through hours of light load (ROADMAP: "a phase change
   // strands inventory"). The run-up requirement keeps steady park-every-few-refills
-  // workloads from oscillating: any shortage resets the count.
-  static constexpr std::size_t kDecayQuietRefills = 8;
+  // workloads from oscillating: any shortage resets the count. Derived from the core
+  // count at first use: max(8, cores) — more running cores means more threads whose
+  // open quanta stretch grace windows, so "quiet" needs a longer run-up before it is
+  // evidence of a real phase change. hardware_concurrency() == 1 reproduces the old
+  // constant 8 exactly; epoch_test asserts this derivation.
+  static std::size_t DecayQuietRefills() {
+    static const std::size_t v =
+        std::max<std::size_t>(8, std::max(1u, std::thread::hardware_concurrency()));
+    return v;
+  }
 
   NodePool() : rec_(CurrentThreadRec(EpochDomain::Global())) {
     Replenish(kTargetSize);
@@ -216,7 +226,7 @@ class NodePool {
     if (shortage) {
       quiet_refills_ = 0;
     } else if (parked_.empty() && target_ > kTargetSize &&
-               ++quiet_refills_ >= kDecayQuietRefills) {
+               ++quiet_refills_ >= DecayQuietRefills()) {
       --quiet_refills_;  // hold at the threshold: one batch per further quiet refill
       target_ -= kTargetSize;
     }
@@ -257,7 +267,7 @@ class NodePool {
   // batch per park, decayed one batch per quiet reap cycle after a quiet run-up,
   // never above kMaxInventory. See the header comment.
   std::size_t target_ = kTargetSize;
-  // Consecutive shortage-free refills (see kDecayQuietRefills).
+  // Consecutive shortage-free refills (see DecayQuietRefills()).
   std::size_t quiet_refills_ = 0;
 };
 

@@ -2,7 +2,7 @@
 //
 // Unlike NodePool (which recycles fixed-type lock nodes), RetireList frees arbitrary
 // objects once a grace period has elapsed. Retired objects accumulate in a thread-local
-// buffer; when the buffer reaches kFlushThreshold the thread *parks* the batch together
+// buffer; when the buffer reaches FlushThreshold() the thread *parks* the batch together
 // with a grace snapshot (EpochDomain::GraceTicket) and frees it on a later call once the
 // snapshot has elapsed — reclamation never waits.
 //
@@ -16,7 +16,9 @@
 #ifndef SRL_EPOCH_RETIRE_LIST_H_
 #define SRL_EPOCH_RETIRE_LIST_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -26,7 +28,19 @@ namespace srl {
 
 class RetireList {
  public:
-  static constexpr std::size_t kFlushThreshold = 256;
+  // Per-thread batch size before MaybeFlush parks, derived from the core count at
+  // first use (the old constexpr 256 was guessed on a one-core container — ROADMAP
+  // PR-5 carryover). The buffer is thread-local, so total deferred memory scales with
+  // the thread count; shrinking the per-thread batch as cores grow keeps the
+  // aggregate roughly constant and keeps grace snapshots short on busy machines:
+  // 1024 / cores, clamped to [64, 256]. hardware_concurrency() == 1 reproduces the
+  // old 256 exactly. epoch_test asserts this derivation.
+  static std::size_t FlushThreshold() {
+    static const std::size_t v =
+        std::clamp<std::size_t>(1024 / std::max(1u, std::thread::hardware_concurrency()),
+                                64, 256);
+    return v;
+  }
   // At most this many separately-ticketed parked batches; beyond it, new batches
   // coalesce into the newest parked batch (ticket union). This bounds bookkeeping,
   // NOT memory: a live thread that idles forever inside an open epoch quantum pins
@@ -34,8 +48,15 @@ class RetireList {
   // memory-over-blocking policy (kernel RCU makes the same call). MaybeFlush never
   // waits; only Flush() (destruction) runs a blocking barrier. Sized so coalescing
   // essentially never happens against healthy quantum readers, whose tickets elapse
-  // within one scheduler round.
-  static constexpr std::size_t kMaxParkedBatches = 64;
+  // within one scheduler round — and scaled with the core count, because each running
+  // core can hold one quantum open and stretch one more ticket past its grace window:
+  // 16 * cores, clamped to [64, 512] (== the old 64 up to four cores). epoch_test
+  // asserts this derivation too.
+  static std::size_t MaxParkedBatches() {
+    static const std::size_t v = std::clamp<std::size_t>(
+        16 * std::max(1u, std::thread::hardware_concurrency()), 64, 512);
+    return v;
+  }
 
   RetireList() : rec_(CurrentThreadRec(EpochDomain::Global())) {}
 
@@ -61,14 +82,14 @@ class RetireList {
   }
 
   // Parks the current batch once it is large, reaping previously parked batches whose
-  // grace period has elapsed. Never blocks, and free for the (kFlushThreshold - 1 of
-  // every kFlushThreshold) calls below the threshold — this runs after every munmap,
+  // grace period has elapsed. Never blocks, and free for the (FlushThreshold() - 1 of
+  // every FlushThreshold()) calls below the threshold — this runs after every munmap,
   // so the ticket polling must stay off that path. Call at operation boundaries,
   // while holding no locks or ranges and outside any scoped epoch critical section
   // (EpochGuard); an open epoch-per-quantum section on the calling thread is fine —
   // the grace snapshot skips the caller's own record.
   void MaybeFlush() {
-    if (pending_.size() < kFlushThreshold) {
+    if (pending_.size() < FlushThreshold()) {
       return;
     }
     Reap();
@@ -130,7 +151,7 @@ class RetireList {
       return;
     }
     EpochDomain::GraceTicket ticket = EpochDomain::Global().Snapshot(rec_);
-    if (parked_.size() >= kMaxParkedBatches) {
+    if (parked_.size() >= MaxParkedBatches()) {
       // Bookkeeping bound reached (some section is outliving many grace windows):
       // coalesce into the newest batch instead of blocking. The union ticket frees
       // both batches once both snapshots have elapsed — strictly conservative.

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/epoch/epoch_domain.h"
+#include "src/epoch/retire_list.h"
 #include "src/sync/spin_lock.h"
 
 namespace srl {
@@ -36,14 +37,15 @@ namespace srl {
 class SharedRetireList {
  public:
   // Default pending-count threshold before MaybeFlush parks a batch. Runtime-tunable
-  // per list (SetFlushThreshold): the constant was picked on one core, and the right
-  // value shifts with thread count — a high-churn stripe on a big box wants smaller
-  // batches so grace snapshots stay short. bench/abl_async_unmap sweeps it together
-  // with the sweep-queue threshold.
-  static constexpr std::size_t kFlushThreshold = 256;
+  // per list (SetFlushThreshold); the default follows RetireList's core-count
+  // derivation — a high-churn stripe on a big box wants smaller batches so grace
+  // snapshots stay short. bench/abl_async_unmap sweeps it together with the
+  // sweep-queue threshold.
+  static std::size_t DefaultFlushThreshold() { return RetireList::FlushThreshold(); }
   // Bookkeeping bound, not a memory bound — beyond it new batches coalesce into the
-  // newest parked batch (ticket union) instead of blocking, exactly as RetireList.
-  static constexpr std::size_t kMaxParkedBatches = 64;
+  // newest parked batch (ticket union) instead of blocking, exactly as RetireList
+  // (whose core-count derivation this shares).
+  static std::size_t MaxParkedBatches() { return RetireList::MaxParkedBatches(); }
 
   void SetFlushThreshold(std::size_t n) {
     flush_threshold_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
@@ -158,7 +160,7 @@ class SharedRetireList {
       pending_.clear();
     } else {
       EpochDomain::GraceTicket ticket = EpochDomain::Global().Snapshot(rec);
-      if (parked_.size() >= kMaxParkedBatches) {
+      if (parked_.size() >= MaxParkedBatches()) {
         Batch& newest = parked_.back();
         newest.objs.insert(newest.objs.end(), pending_.begin(), pending_.end());
         newest.ticket.Merge(std::move(ticket));
@@ -179,7 +181,7 @@ class SharedRetireList {
   }
 
   mutable SpinLock lock_;
-  std::atomic<std::size_t> flush_threshold_{kFlushThreshold};
+  std::atomic<std::size_t> flush_threshold_{DefaultFlushThreshold()};
   std::atomic<std::size_t> pending_count_{0};
   std::vector<Pending> pending_;
   std::vector<Batch> parked_;

@@ -18,7 +18,7 @@
 #include <cstdint>
 
 #include "src/sync/deadline.h"
-#include "src/sync/pause.h"
+#include "src/sync/spin_wait.h"
 
 namespace srl {
 
@@ -29,7 +29,10 @@ class RwSemaphore {
   RwSemaphore& operator=(const RwSemaphore&) = delete;
 
   void lock_shared() {
-    uint32_t spins = 0;
+    // Audit (wait-loop unification): the optimistic spin runs on SpinWait instead of a
+    // hand-rolled kOptimisticSpins counter; once SpinWait would start yielding, block
+    // on the futex instead — a syscall either way, and the futex one sleeps.
+    SpinWait spin;
     for (;;) {
       uint32_t s = state_.load(std::memory_order_relaxed);
       const uint32_t ww = writers_waiting_.load(std::memory_order_relaxed);
@@ -40,8 +43,8 @@ class RwSemaphore {
         }
         continue;
       }
-      if (++spins < kOptimisticSpins) {
-        CpuRelax();
+      if (!spin.Yielding()) {
+        spin.Spin();
       } else if ((s & kWriterBit) != 0) {
         // Blocked by an active writer; its unlock() changes state_ and notifies.
         state_.wait(s, std::memory_order_relaxed);
@@ -135,15 +138,16 @@ class RwSemaphore {
 
   void lock() {
     writers_waiting_.fetch_add(1, std::memory_order_seq_cst);
-    uint32_t spins = 0;
+    // Audit (wait-loop unification): optimistic spin on SpinWait, as in lock_shared().
+    SpinWait spin;
     for (;;) {
       uint32_t expected = 0;
       if (state_.compare_exchange_weak(expected, kWriterBit, std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
         break;
       }
-      if (++spins < kOptimisticSpins) {
-        CpuRelax();
+      if (!spin.Yielding()) {
+        spin.Spin();
       } else if (expected != 0) {
         // Never wait on state_ == 0: the lock is free (a spuriously failed CAS can
         // leave expected == 0), and no one is obliged to notify.
@@ -163,7 +167,6 @@ class RwSemaphore {
 
  private:
   static constexpr uint32_t kWriterBit = 1u << 31;
-  static constexpr uint32_t kOptimisticSpins = 512;
 
   std::atomic<uint32_t> state_{0};            // bit 31: writer; low bits: reader count
   std::atomic<uint32_t> writers_waiting_{0};  // queued writers (gives writer preference)

@@ -227,7 +227,10 @@ class AddressSpace {
   // --- Stripe introspection ---
   unsigned Stripes() const { return stripes_; }
   unsigned StripeOf(uint64_t addr) const { return index_.IndexOf(addr); }
-  // The calling thread's home stripe (stable per thread for this space's stripe count).
+  // The calling thread's home stripe (stable per thread for this space's stripe
+  // count). Multicore hosts assign it from the CPU the thread first ran on, in
+  // node-grouped enumeration order (see Topology); single-core hosts fall back to
+  // deterministic registration-order round-robin.
   unsigned HomeStripe() const;
 
   // --- Introspection (each takes the full write lock; safe any time) ---

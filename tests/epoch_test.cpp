@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/core/lnode.h"
 #include "src/epoch/epoch_domain.h"
 #include "src/epoch/node_pool.h"
 #include "src/epoch/retire_list.h"
+#include "src/epoch/shared_retire_list.h"
 #include "src/skiplist/range_lock_skiplist.h"
 #include "tests/common/test_clock.h"
 
@@ -604,15 +607,39 @@ TEST(RetireListTest, DestructorFlushes) {
 
 TEST(RetireListTest, MaybeFlushHonoursThreshold) {
   RetireList list;
-  for (std::size_t i = 0; i < RetireList::kFlushThreshold - 1; ++i) {
+  for (std::size_t i = 0; i < RetireList::FlushThreshold() - 1; ++i) {
     list.Retire(new CountedObj());
   }
   list.MaybeFlush();
-  EXPECT_EQ(list.PendingCount(), RetireList::kFlushThreshold - 1) << "flushed too early";
+  EXPECT_EQ(list.PendingCount(), RetireList::FlushThreshold() - 1) << "flushed too early";
   list.Retire(new CountedObj());
   list.MaybeFlush();
   EXPECT_EQ(list.PendingCount(), 0u);
   EXPECT_EQ(CountedObj::live.load(), 0);
+}
+
+// The reclamation constants are derived from the machine's core count at first use
+// (the original constexpr values were guessed on a one-core container). Assert the
+// exact derivations so a refactor cannot silently change the policy, and that one
+// core reproduces the historical constants (256 / 64 / 8 / 250ms) bit-for-bit.
+TEST(ReclamationDerivationTest, ConstantsFollowCoreCount) {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(RetireList::FlushThreshold(), std::clamp<std::size_t>(1024 / hw, 64, 256));
+  EXPECT_EQ(RetireList::MaxParkedBatches(),
+            std::clamp<std::size_t>(16 * hw, 64, 512));
+  EXPECT_EQ(SharedRetireList::DefaultFlushThreshold(), RetireList::FlushThreshold());
+  EXPECT_EQ(SharedRetireList::MaxParkedBatches(), RetireList::MaxParkedBatches());
+  EXPECT_EQ((NodePool<LNode>::DecayQuietRefills()), std::max<std::size_t>(8, hw));
+  const std::chrono::nanoseconds quiesce = EpochDomain::DefaultForceQuiesceAfter();
+  EXPECT_EQ(quiesce, std::max(std::chrono::nanoseconds(std::chrono::milliseconds(50)),
+                              std::chrono::nanoseconds(std::chrono::milliseconds(250)) /
+                                  static_cast<unsigned>(hw)));
+  if (hw == 1) {
+    EXPECT_EQ(RetireList::FlushThreshold(), 256u);
+    EXPECT_EQ(RetireList::MaxParkedBatches(), 64u);
+    EXPECT_EQ((NodePool<LNode>::DecayQuietRefills()), 8u);
+    EXPECT_EQ(quiesce, std::chrono::nanoseconds(std::chrono::milliseconds(250)));
+  }
 }
 
 // Cross-thread grace period: a reader in a critical section must keep retired memory

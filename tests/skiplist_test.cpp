@@ -249,7 +249,7 @@ TEST(SkipListEpochTest, RemoveRetiresOutsideCriticalSectionAndReclaims) {
     using List = RangeLockSkipList<ListLockPolicy>;
     List list;
     const EpochDomain::ThreadRec* rec = CurrentThreadRec(EpochDomain::Global());
-    constexpr std::size_t kOps = 3 * RetireList::kFlushThreshold;
+    const std::size_t kOps = 3 * RetireList::FlushThreshold();
     std::size_t peak = 0;
     for (std::size_t i = 1; i <= kOps; ++i) {
       ASSERT_TRUE(list.Insert(i));
@@ -259,9 +259,9 @@ TEST(SkipListEpochTest, RemoveRetiresOutsideCriticalSectionAndReclaims) {
       List::QuiesceLocal();
       peak = std::max(peak, RetireList::Local().PendingCount());
     }
-    EXPECT_LE(peak, RetireList::kFlushThreshold)
+    EXPECT_LE(peak, RetireList::FlushThreshold())
         << "threshold flushes stopped reclaiming: retire backlog grew unbounded";
-    EXPECT_LT(RetireList::Local().PendingCount(), RetireList::kFlushThreshold);
+    EXPECT_LT(RetireList::Local().PendingCount(), RetireList::FlushThreshold());
   });
   worker.join();
 }

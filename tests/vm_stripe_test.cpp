@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "src/harness/prng.h"
+#include "src/sync/topology.h"
 #include "src/vm/address_space.h"
 
 namespace srl::vm {
@@ -45,7 +46,18 @@ TEST(VmStripeTest, MmapInStripeCarvesFromThatWindow) {
   EXPECT_TRUE(as.CheckInvariants());
 }
 
+// Pins the single-core fallback policy deterministically on every host: with the
+// topology probe forced to report one core, HomeStripe must ignore CPU placement and
+// use registration-order round-robin (on a real multicore host the CPU-derived
+// assignment is exercised instead and thread homes may legitimately collide).
+class ForcedSingleCore {
+ public:
+  ForcedSingleCore() { Topology::TestOnlyForceSingleCore(true); }
+  ~ForcedSingleCore() { Topology::TestOnlyForceSingleCore(false); }
+};
+
 TEST(VmStripeTest, HomeStripePolicySpreadsThreads) {
+  ForcedSingleCore forced;
   AddressSpace as(VmVariant::kListScoped, 8);
   // 8 fresh threads draw consecutive registration tokens, so their home stripes must
   // be pairwise distinct — the "scoped mmaps from different threads share no state"
@@ -66,6 +78,29 @@ TEST(VmStripeTest, HomeStripePolicySpreadsThreads) {
   EXPECT_EQ(std::set<unsigned>(homes.begin(), homes.end()).size(), 8u)
       << "threads hashed onto colliding home stripes";
   EXPECT_TRUE(as.CheckInvariants());
+}
+
+TEST(VmStripeTest, SingleCoreFallbackIsStablePerThread) {
+  ForcedSingleCore forced;
+  AddressSpace as(VmVariant::kListScoped, 4);
+  // Each fresh thread's home stripe is stable across calls (the registration token is
+  // drawn once per thread), and sequentially spawned threads walk the stripes round
+  // robin modulo the stripe count.
+  std::vector<unsigned> homes;
+  for (int t = 0; t < 6; ++t) {
+    std::thread([&] {
+      const unsigned h1 = as.HomeStripe();
+      const unsigned h2 = as.HomeStripe();
+      EXPECT_EQ(h1, h2) << "home stripe not stable within a thread";
+      homes.push_back(h1);
+    }).join();
+  }
+  // Consecutive threads land on consecutive stripes mod 4 (whatever token the first
+  // one drew): distinctness over any 4-thread window follows.
+  for (std::size_t i = 1; i < homes.size(); ++i) {
+    EXPECT_EQ(homes[i], (homes[i - 1] + 1) % 4)
+        << "single-core fallback is not registration-order round-robin";
+  }
 }
 
 TEST(VmStripeTest, ExhaustedWindowOverflowsToNeighbour) {

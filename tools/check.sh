@@ -3,8 +3,13 @@
 # configurations, failing on the first error.
 #
 # Usage:
-#   tools/check.sh            # all three configurations
-#   tools/check.sh plain      # just one (plain | thread | address)
+#   tools/check.sh                # all three configurations
+#   tools/check.sh plain          # just one (plain | thread | address)
+#   tools/check.sh --oversub plain
+#                                 # additionally run the oversubscription smoke (a
+#                                 # short bench/abl_oversub sweep at 64 threads) after
+#                                 # the plain test pass — a cheap "does the admission
+#                                 # gate still survive oversubscription" canary
 #
 # The sanitizer passes run the concurrency-heavy lock tests (not the full suite) to keep
 # wall-clock sane under the ~10x sanitizer slowdown; the plain pass runs everything —
@@ -19,7 +24,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
-CONFIGS=("${@:-plain thread address}")
+
+# Peel option flags off before the remaining words become the configuration list.
+OVERSUB=0
+ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --oversub) OVERSUB=1 ;;
+    *) ARGS+=("$arg") ;;
+  esac
+done
+CONFIGS=("${ARGS[@]:-plain thread address}")
 # Word-split the default string while leaving explicit args intact.
 read -r -a CONFIGS <<<"${CONFIGS[*]}"
 
@@ -27,7 +42,7 @@ read -r -a CONFIGS <<<"${CONFIGS[*]}"
 # VmStructuralFuzz is the structural-VM-op battery (optimistic mm_rb walks, epoch-
 # reclaimed VMAs, range-scoped mmap/munmap); it carries the `stress` label, so the
 # ASan+UBSan pass (-LE stress) skips it while TSan races it for real.
-SANITIZED_TESTS='ListRangeLock|ListLockFree|ListRwRangeLock|FairList|LockConformance|LockFuzz|Epoch|Sync|SpinLock|TicketLock|RwSpinLock|FairRwLock|RwSemaphore|TreeRangeLock|SegmentRangeLock|RangeOracle|VmStructuralFuzz|VmFaultUnmapRace|VmStripe|VmSweep|SkiplistRangeLock|SkipList'
+SANITIZED_TESTS='ListRangeLock|ListLockFree|ListRwRangeLock|FairList|LockConformance|LockFuzz|Epoch|Sync|SpinLock|TicketLock|RwSpinLock|FairRwLock|RwSemaphore|TreeRangeLock|SegmentRangeLock|RangeOracle|VmStructuralFuzz|VmFaultUnmapRace|VmStripe|VmSweep|SkiplistRangeLock|SkipList|Admission|Topology'
 
 run_config() {
   local config="$1"
@@ -48,6 +63,15 @@ run_config() {
   echo "=== [$config] test ==="
   if [[ "$config" == plain ]]; then
     ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+    if [[ "$OVERSUB" == 1 ]]; then
+      # Oversubscription canary: far more threads than any CI core count, long enough
+      # for the parking/cull machinery to engage. Exit status only — perf numbers from
+      # shared runners are not judged here (see tools/perf_diff.py for trajectories).
+      echo "=== [$config] oversubscription smoke ==="
+      "$build_dir/bench/abl_oversub" \
+        --variants=stock,tree,list,list-lf,skiplist --mixes=adversarial \
+        --threads=64 --gates=on,off --secs=0.2 --repeats=1
+    fi
   elif [[ "$config" == thread ]]; then
     # Sanitizers must abort the test process on any finding, not just log it.
     TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \

@@ -47,7 +47,8 @@ import os
 import sys
 
 KEY_COLUMNS = {"variant", "threads", "readers", "lock", "segments", "pool", "list-len",
-               "workload", "mode", "bench", "stripes", "stripe", "role", "cold-drop"}
+               "workload", "mode", "bench", "stripes", "stripe", "role", "cold-drop",
+               "gate", "mix"}
 STDDEV_COLUMN = "rel-stddev%"
 
 
